@@ -1,0 +1,2 @@
+"""Benchmark targets regenerating every table and figure of the paper's
+evaluation section.  Run with ``pytest benchmarks/ --benchmark-only``."""

@@ -1,0 +1,30 @@
+"""Kernel-cache ablation (§III-A).
+
+The paper's argument for a cache-free distributed solver: "for a fixed
+kernel cache size, the probability of a cache-hit reduces with
+increasing size of the dataset".  This bench sweeps the baseline's
+cache budget and reports hit rate vs actual kernel evaluations.
+"""
+
+from repro.bench.experiments import run_ablation_cache
+
+from .conftest import publish, run_experiment_once
+
+
+def test_ablation_cache_size(benchmark, results_dir):
+    text, payload = run_experiment_once(benchmark, run_ablation_cache, "mnist")
+    publish(results_dir, "ablation_cache", text)
+
+    rows = {r["cache"]: r for r in payload["rows"]}
+    assert set(rows) == {"full", "quarter", "5%", "none"}
+    # hit rate decreases monotonically with the cache budget
+    order = ["full", "quarter", "5%", "none"]
+    hits = [rows[k]["hit_rate"] for k in order]
+    assert hits == sorted(hits, reverse=True)
+    assert rows["none"]["hit_rate"] == 0.0
+    # kernel evaluations increase as the cache shrinks
+    evals = [rows[k]["kernel_evals"] for k in order]
+    assert evals == sorted(evals)
+    # the cache does not change the optimization path
+    iters = {r["iterations"] for r in rows.values()}
+    assert len(iters) == 1

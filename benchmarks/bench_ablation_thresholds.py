@@ -1,0 +1,39 @@
+"""Ablations of the shrinking design choices DESIGN.md calls out.
+
+1. Subsequent-threshold policy (§IV-A2): the paper's adaptive rule
+   (next threshold = global active-set size, via an Allreduce) vs
+   re-using the initial threshold.
+2. Reconstruction point (§IV-B / Algorithm 5): reconstruct at 20ε (the
+   paper's choice — "allows us to reconstruct gradient at an
+   intermediate step") vs waiting for the final 2ε tolerance.
+"""
+
+from repro.bench.experiments import run_ablation_recon_eps, run_ablation_subsequent
+
+from .conftest import publish, run_experiment_once
+
+
+def test_ablation_subsequent_threshold(benchmark, results_dir):
+    text, payload = run_experiment_once(benchmark, run_ablation_subsequent, "mnist")
+    publish(results_dir, "ablation_subsequent", text)
+
+    rows = {r["policy"]: r for r in payload["rows"]}
+    assert set(rows) == {"active_set", "initial"}
+    # the fixed-initial policy fires at least as many shrink passes
+    assert rows["initial"]["shrink_passes"] >= rows["active_set"]["shrink_passes"]
+    # both converge (positive iteration counts in the same ballpark)
+    a, b = rows["active_set"]["iterations"], rows["initial"]["iterations"]
+    assert a > 0 and b > 0
+    assert 0.5 <= a / b <= 2.0
+
+
+def test_ablation_reconstruction_point(results_dir, benchmark):
+    text, payload = run_experiment_once(benchmark, run_ablation_recon_eps, "mnist")
+    publish(results_dir, "ablation_recon_eps", text)
+
+    rows = {r["factor"]: r for r in payload["rows"]}
+    assert set(rows) == {10.0, 1.0}
+    for r in rows.values():
+        assert r["iterations"] > 0
+    # reconstructing early (20ε) must not blow up the iteration count
+    assert rows[10.0]["iterations"] <= rows[1.0]["iterations"] * 1.5

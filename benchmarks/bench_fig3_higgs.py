@@ -1,0 +1,34 @@
+"""Figure 3 — UCI HIGGS (2.6M samples, C=32, σ²=64), up to 4096 procs.
+
+Paper: shrinking gives 2.27x over the Default (no-shrinking) algorithm
+at 1024 processes and 1.56x at 4096; libsvm-enhanced cannot finish
+within the 2-day job limit.  Best heuristic Multi5pc, worst Single50pc.
+"""
+
+from repro.bench.experiments import run_figure
+
+from .conftest import publish, run_experiment_once
+
+
+def test_fig3_higgs(benchmark, results_dir):
+    text, payload = run_experiment_once(benchmark, run_figure, "fig3")
+    publish(results_dir, "fig3_higgs", text)
+
+    res = payload["result"]
+    sp_orig = payload["speedups_vs_original"]
+    # shape checks mirroring the paper's claims
+    best, worst = res.best_worst()
+    assert best == "multi5pc"
+    # shrinking beats Default at every process count
+    assert all(s > 1.0 for s in sp_orig["multi5pc"])
+    # by a factor in the paper's band (2.27x @1024, 1.56x @4096): allow
+    # a generous band for the synthetic stand-in
+    at_1024 = sp_orig["multi5pc"][res.procs.index(1024)]
+    at_4096 = sp_orig["multi5pc"][res.procs.index(4096)]
+    assert 1.1 <= at_1024 <= 4.0
+    assert 1.05 <= at_4096 <= 3.0
+    # the benefit shrinks as communication dominates (paper's trend)
+    assert at_4096 <= at_1024
+    # libsvm-enhanced modeled time is in the paper's "days, cannot
+    # finish inside the job limit" regime
+    assert res.baseline_enh.total > 24 * 3600

@@ -1,0 +1,95 @@
+"""Component microbenchmarks (classic pytest-benchmark usage).
+
+Times the building blocks whose costs the performance model assumes:
+CSR products, kernel-row evaluation, collectives, the ring exchange,
+and single solver iterations.  These are the λ / l / G measurements
+backing DESIGN.md's calibration notes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SVMParams, fit_parallel
+from repro.core.shrinking import HEURISTICS
+from repro.kernels import RBFKernel
+from repro.mpi import SUM, run_spmd
+from repro.sparse import CSRMatrix
+
+RNG = np.random.default_rng(7)
+N, D = 2000, 64
+DENSE = RNG.normal(size=(N, D)) * (RNG.random((N, D)) < 0.3)
+X = CSRMatrix.from_dense(DENSE)
+NORMS = X.row_norms_sq()
+KERNEL = RBFKernel(0.25)
+
+
+def test_csr_matvec(benchmark):
+    v = RNG.normal(size=D)
+    benchmark(X.dot_dense_vec, v)
+
+
+def test_csr_row_gather(benchmark):
+    rows = RNG.integers(0, N, size=N // 2)
+    benchmark(X.take_rows, rows)
+
+
+def test_csr_serialization_roundtrip(benchmark):
+    benchmark(lambda: CSRMatrix.from_bytes(X.to_bytes()))
+
+
+def test_kernel_row_evaluation(benchmark):
+    """One gradient-update kernel column: the solver's hot operation."""
+    xi, xv = X.row(0)
+
+    def op():
+        return KERNEL.row_against_block(X, NORMS, xi, xv, float(NORMS[0]))
+
+    benchmark(op)
+
+
+def test_row_norms(benchmark):
+    benchmark(X.row_norms_sq)
+
+
+@pytest.mark.parametrize("p", [2, 8])
+def test_allreduce_scalar(benchmark, p):
+    def job():
+        return run_spmd(lambda c: c.allreduce(c.rank, SUM), p)
+
+    benchmark.pedantic(job, iterations=1, rounds=5, warmup_rounds=1)
+
+
+def test_ring_exchange(benchmark):
+    payload = X.take_rows(np.arange(100)).to_bytes()
+
+    def job():
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            cur = payload
+            for _ in range(comm.size - 1):
+                req = comm.irecv(source=left, tag=0)
+                comm.isend(cur, dest=right, tag=0)
+                cur = req.wait()
+            return len(cur)
+
+        return run_spmd(prog, 4)
+
+    benchmark.pedantic(job, iterations=1, rounds=5, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("heuristic", ["original", "multi5pc"])
+def test_solver_end_to_end_small(benchmark, heuristic):
+    rng = np.random.default_rng(3)
+    n = 200
+    Xd = np.vstack(
+        [rng.normal(1.0, 1.2, (n // 2, 4)), rng.normal(-1.0, 1.2, (n // 2, 4))]
+    )
+    y = np.r_[np.ones(n // 2), -np.ones(n // 2)]
+    Xs = CSRMatrix.from_dense(Xd)
+    params = SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-3)
+
+    def job():
+        return fit_parallel(Xs, y, params, heuristic=heuristic, nprocs=1)
+
+    benchmark.pedantic(job, iterations=1, rounds=3, warmup_rounds=1)

@@ -1,0 +1,33 @@
+"""Table II — all 13 shrinking heuristics on one dataset.
+
+The paper enumerates the heuristics (random 2/500/1000 and numsamples
+5/10/50%, each with single or multiple reconstruction) and requires
+every one of them to keep the accuracy of the solution intact.
+"""
+
+from repro.bench.experiments import run_table2
+
+from .conftest import publish, run_experiment_once
+
+
+def test_table2_all_heuristics(benchmark, results_dir):
+    text, payload = run_experiment_once(benchmark, run_table2, "mnist")
+    publish(results_dir, "table2_heuristics", text)
+
+    rows = {r["name"]: r for r in payload["rows"]}
+    assert len(rows) == 13
+    # contribution 2: accuracy intact for every heuristic
+    assert all(r["accuracy_ok"] for r in rows.values()), [
+        n for n, r in rows.items() if not r["accuracy_ok"]
+    ]
+    # original never shrinks or reconstructs
+    assert rows["original"]["shrunk"] == 0
+    assert rows["original"]["recons"] == 0
+    # single-reconstruction heuristics reconstruct at most once
+    for name, r in rows.items():
+        if name.startswith("single"):
+            assert r["recons"] <= 1, name
+    # at least one aggressive heuristic actually shrinks on this dataset
+    assert any(
+        r["shrunk"] > 0 for n, r in rows.items() if n != "original"
+    )

@@ -1,0 +1,28 @@
+"""Table IV — small datasets: speedup relative to libsvm-sequential.
+
+Paper rows: Adult-9 (3.2x @16), RCV1 (39x @64), USPS (1.3x @4),
+Mushrooms (1.9x @4), Web/w7a (3.1x @16); small datasets "do not scale
+very well, since they only have a few thousand samples".
+"""
+
+from repro.bench.experiments import run_table4
+
+from .conftest import publish, run_experiment_once
+
+
+def test_table4_small_datasets(benchmark, results_dir):
+    text, payload = run_experiment_once(benchmark, run_table4)
+    publish(results_dir, "table4_small", text)
+
+    rows = {r["dataset"]: r for r in payload["rows"]}
+    assert set(rows) == {"a9a", "rcv1", "usps", "mushrooms", "w7a"}
+    for name, r in rows.items():
+        # best shrinking >= default is the qualitative Table IV pattern
+        assert r["best"] >= r["default"] * 0.95, name
+        assert r["best"] > 0 and r["default"] > 0
+    # RCV1 is the standout (paper 39x); the others are single-digit
+    assert rows["rcv1"]["best"] > rows["a9a"]["best"]
+    assert rows["rcv1"]["best"] > 10.0
+    # small 4-process datasets stay in the low single digits
+    for name in ("usps", "mushrooms"):
+        assert rows[name]["best"] < 10.0, name

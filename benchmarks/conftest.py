@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each ``bench_*`` target reproduces one table/figure of the paper's §V
+(see DESIGN.md's experiment index).  The experiment runs once inside the
+pytest-benchmark harness (rounds=1 — these are end-to-end experiment
+replays, not microbenchmarks) and its report is printed and archived
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print the regenerated table and archive it for EXPERIMENTS.md."""
+    print(f"\n{text}\n")
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def run_experiment_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
+    )

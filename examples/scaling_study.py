@@ -1,0 +1,45 @@
+"""Scaling study: project one instrumented run to thousands of processes.
+
+Trains a registry dataset once per heuristic at small scale, then uses
+the trace-driven performance model to evaluate execution time on a
+Cascade-like cluster from 16 to 4096 processes — the workflow behind
+the paper's Figures 3-7.
+
+Run:  python examples/scaling_study.py [dataset]
+"""
+
+import sys
+
+from repro.bench import run_speedup_experiment
+from repro.bench.report import active_set_summary, figure_speedup_table
+
+
+def main(dataset: str = "forest") -> None:
+    procs = [16, 64, 256, 1024, 4096]
+    res = run_speedup_experiment(dataset, procs)
+
+    print(figure_speedup_table(
+        res, reference="libsvm-enhanced",
+        title=f"{dataset}: projected speedup vs the 16-core libsvm baseline",
+    ))
+    print()
+    print(figure_speedup_table(
+        res, reference="original",
+        title="same runs, relative to the Default (no-shrinking) algorithm",
+    ))
+    print()
+    print(active_set_summary(res, "multi5pc"))
+
+    run = res.runs["multi5pc"]
+    print("\nwhere the time goes (multi5pc):")
+    for p, t in zip(res.procs, run.projections):
+        print(
+            f"  p={p:>5}: total {t.total:8.2f}s | "
+            f"iter compute {t.iter_compute:8.2f}s, iter comm {t.iter_comm:7.2f}s, "
+            f"reconstruction {t.recon_total:6.2f}s "
+            f"({t.recon_fraction:.1%} of total)"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "forest")

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work on hosts without the
+``wheel`` package (pip falls back to ``setup.py develop``).  All project
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro — reproduction of *Fast and Accurate Support Vector Machines on
+Large Scale Systems* (Vishnu et al., CLUSTER 2015).
+
+Public API highlights:
+
+- :class:`repro.core.SVC` — high-level classifier (fit / predict / score)
+  with ``heuristic=`` selecting the paper's Table II shrinking variants
+  and ``nprocs=`` selecting the simulated process count.
+- :func:`repro.mpi.run_spmd` — the SPMD runtime the solvers execute on.
+- :mod:`repro.data` — synthetic stand-ins for the paper's datasets.
+- :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure of the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+from . import mpi  # noqa: F401  (re-exported subsystem)
+
+__all__ = ["mpi", "__version__"]

@@ -1,0 +1,39 @@
+"""``repro.bench`` — the experiment harness regenerating §V.
+
+``python -m repro.bench <experiment-id>`` runs any experiment from
+:data:`repro.bench.experiments.EXPERIMENTS` and prints its table.
+"""
+
+from . import report
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentDef,
+    run_fig8,
+    run_figure,
+    run_table2,
+    run_table4,
+    run_table5,
+)
+from .harness import (
+    DEFAULT_HEURISTICS,
+    ExperimentResult,
+    HeuristicRun,
+    run_accuracy_experiment,
+    run_speedup_experiment,
+)
+
+__all__ = [
+    "DEFAULT_HEURISTICS",
+    "EXPERIMENTS",
+    "ExperimentDef",
+    "ExperimentResult",
+    "HeuristicRun",
+    "report",
+    "run_accuracy_experiment",
+    "run_fig8",
+    "run_figure",
+    "run_speedup_experiment",
+    "run_table2",
+    "run_table4",
+    "run_table5",
+]

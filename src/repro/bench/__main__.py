@@ -1,0 +1,29 @@
+"""CLI: ``python -m repro.bench [experiment-id ...]`` (default: all)."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .experiments import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    ids = argv or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for i in ids:
+        exp = EXPERIMENTS[i]
+        print(f"\n=== {exp.id}: {exp.description} ===")
+        t0 = time.perf_counter()
+        text, _ = exp.run()
+        print(text)
+        print(f"[{exp.id} finished in {time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

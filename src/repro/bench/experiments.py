@@ -1,0 +1,308 @@
+"""Canonical experiment definitions — one per table/figure of §V.
+
+Both the ``benchmarks/`` targets and the EXPERIMENTS.md generator pull
+from this registry so the reported numbers always come from the same
+code path.  Every experiment returns ``(report_text, payload)`` where
+the payload carries the raw numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import HEURISTICS, SVMParams, fit_parallel, solve_libsvm_style
+from ..data import get_entry, load_dataset
+from ..kernels import RBFKernel
+from ..perfmodel import MachineSpec
+from . import report
+from .harness import run_accuracy_experiment, run_speedup_experiment
+
+#: per-figure process sweeps (the paper's x axes)
+FIGURE_PROCS: Dict[str, List[int]] = {
+    "fig3": [256, 512, 1024, 2048, 4096],
+    "fig4": [16, 64, 256, 1024, 4096],
+    "fig5": [16, 64, 256, 1024],
+    "fig6": [16, 64, 128, 256, 512],
+    "fig7": [16, 64, 128, 256],
+}
+
+FIGURE_DATASET: Dict[str, str] = {
+    "fig3": "higgs",
+    "fig4": "url",
+    "fig5": "forest",
+    "fig6": "mnist",
+    "fig7": "real-sim",
+}
+
+TABLE4_PROCS: Dict[str, int] = {
+    "a9a": 16,
+    "rcv1": 64,
+    "usps": 4,
+    "mushrooms": 4,
+    "w7a": 16,
+}
+
+
+def run_figure(fig: str, *, machine: Optional[MachineSpec] = None) -> Tuple[str, dict]:
+    """Figures 3-7: speedup-vs-procs for Default / best / worst shrinking."""
+    if fig not in FIGURE_DATASET:
+        raise ValueError(f"unknown figure {fig!r}; choose from {sorted(FIGURE_DATASET)}")
+    dataset = FIGURE_DATASET[fig]
+    res = run_speedup_experiment(dataset, FIGURE_PROCS[fig], machine=machine)
+    reference = "original" if fig == "fig3" else "libsvm-enhanced"
+    text = report.figure_speedup_table(
+        res,
+        reference=reference,
+        title=f"{fig.upper()} — {dataset} speedup "
+        f"({'vs Default (libsvm could not finish in 2 days)' if fig == 'fig3' else 'vs libsvm-enhanced'})",
+    )
+    if fig == "fig3":
+        # the paper quotes both; append the libsvm-reference view as context
+        text += "\n\n" + report.figure_speedup_table(
+            res, reference="libsvm-enhanced",
+            title="(context) same runs vs modeled libsvm-enhanced",
+        )
+    text += "\n" + report.active_set_summary(res, "multi5pc")
+    payload = {
+        "result": res,
+        "speedups_vs_original": {
+            h: r.speedups_vs_original for h, r in res.runs.items()
+        },
+        "speedups_vs_enh": {h: r.speedups_enh for h, r in res.runs.items()},
+    }
+    return text, payload
+
+
+def run_fig8(*, machine: Optional[MachineSpec] = None) -> Tuple[str, dict]:
+    """Figure 8: reconstruction-time fraction for the large datasets."""
+    results = {}
+    for fig in ("fig3", "fig4", "fig5", "fig7"):  # higgs, url, forest, real-sim
+        ds = FIGURE_DATASET[fig]
+        results[ds] = run_speedup_experiment(
+            ds, FIGURE_PROCS[fig], heuristics=("multi5pc",), machine=machine
+        )
+    text = report.recon_fraction_table(results, heuristic="multi5pc")
+    fracs = {
+        name: res.runs["multi5pc"].recon_fractions for name, res in results.items()
+    }
+    return text, {"results": results, "fractions": fracs}
+
+
+def run_table2(
+    dataset: str = "mnist", *, machine: Optional[MachineSpec] = None,
+    nprocs: int = 2,
+) -> Tuple[str, dict]:
+    """All 13 Table II heuristics on one dataset: iterations, shrink
+    volume, reconstructions, virtual time, accuracy parity."""
+    entry = get_entry(dataset)
+    data = load_dataset(dataset)
+    machine = machine or MachineSpec.cascade()
+    params = SVMParams(
+        C=entry.C, kernel=RBFKernel(entry.gamma), eps=1e-3, max_iter=2_000_000
+    )
+    reference = fit_parallel(
+        data.X_train, data.y_train, params,
+        heuristic="original", nprocs=nprocs, machine=machine,
+    )
+    rows = []
+    for name, heur in HEURISTICS.items():
+        fr = (
+            reference
+            if name == "original"
+            else fit_parallel(
+                data.X_train, data.y_train, params,
+                heuristic=name, nprocs=nprocs, machine=machine,
+            )
+        )
+        acc_ok = bool(
+            np.allclose(fr.alpha, reference.alpha, atol=1e-2 * params.C)
+            and abs(fr.model.beta - reference.model.beta) < 50 * params.eps
+        )
+        rows.append(
+            {
+                "name": name,
+                "class": heur.klass,
+                "iterations": fr.iterations,
+                "recons": fr.trace.n_reconstructions(),
+                "shrunk": fr.trace.total_shrunk(),
+                "vtime_ms": fr.vtime * 1e3,
+                "speedup": reference.vtime / fr.vtime if fr.vtime > 0 else None,
+                "accuracy_ok": acc_ok,
+            }
+        )
+    text = f"dataset={dataset} (n={data.n_train}, nprocs={nprocs})\n"
+    text += report.heuristics_table(rows)
+    return text, {"rows": rows, "reference": reference}
+
+
+def run_table4(*, machine: Optional[MachineSpec] = None) -> Tuple[str, dict]:
+    """Table IV: speedups vs libsvm-sequential on the small datasets."""
+    rows = []
+    results = {}
+    for dataset, procs in TABLE4_PROCS.items():
+        entry = get_entry(dataset)
+        res = run_speedup_experiment(dataset, [procs], machine=machine)
+        results[dataset] = res
+        best, worst = res.best_worst()
+        rows.append(
+            {
+                "dataset": dataset,
+                "procs": procs,
+                "default": res.runs["original"].speedups_seq[0],
+                "worst": res.runs[worst].speedups_seq[0],
+                "best": res.runs[best].speedups_seq[0],
+                "paper_best": entry.facts.speedup_best,
+            }
+        )
+    return report.table4(rows), {"rows": rows, "results": results}
+
+
+def run_table5(*, machine: Optional[MachineSpec] = None) -> Tuple[str, dict]:
+    """Table V: test accuracy of ours vs the libsvm-style baseline."""
+    from ..data.registry import TABLE5_DATASETS
+
+    rows = [
+        run_accuracy_experiment(ds, machine=machine) for ds in TABLE5_DATASETS
+    ]
+    return report.table5(rows), {"rows": rows}
+
+
+def run_ablation_subsequent(
+    dataset: str = "mnist", *, machine: Optional[MachineSpec] = None
+) -> Tuple[str, dict]:
+    """§IV-A2 ablation: subsequent threshold from the active-set size
+    (the paper's adaptive rule) vs re-using the initial threshold."""
+    entry = get_entry(dataset)
+    data = load_dataset(dataset)
+    machine = machine or MachineSpec.cascade()
+    params = SVMParams(
+        C=entry.C, kernel=RBFKernel(entry.gamma), eps=1e-3, max_iter=2_000_000
+    )
+    rows = []
+    for policy in ("active_set", "initial"):
+        heur = HEURISTICS["multi5pc"].with_subsequent(policy)
+        fr = fit_parallel(
+            data.X_train, data.y_train, params, heuristic=heur, nprocs=1,
+            machine=machine,
+        )
+        rows.append(
+            {
+                "policy": policy,
+                "iterations": fr.iterations,
+                "shrink_passes": len(fr.trace.shrink_iters),
+                "shrunk": fr.trace.total_shrunk(),
+                "recons": fr.trace.n_reconstructions(),
+                "vtime_ms": fr.vtime * 1e3,
+            }
+        )
+    lines = [f"subsequent-threshold ablation (multi5pc, {dataset})"]
+    for r in rows:
+        lines.append(
+            f"  {r['policy']:>10}: iters={r['iterations']} "
+            f"passes={r['shrink_passes']} shrunk={r['shrunk']} "
+            f"recons={r['recons']} vtime={r['vtime_ms']:.2f}ms"
+        )
+    return "\n".join(lines), {"rows": rows}
+
+
+def run_ablation_recon_eps(
+    dataset: str = "mnist", *, machine: Optional[MachineSpec] = None
+) -> Tuple[str, dict]:
+    """§IV-B ablation: reconstruct at 20ε (the paper's choice) vs only
+    at the final 2ε tolerance."""
+    entry = get_entry(dataset)
+    data = load_dataset(dataset)
+    machine = machine or MachineSpec.cascade()
+    rows = []
+    for factor, label in ((10.0, "recon@20eps (paper)"), (1.0, "recon@2eps")):
+        params = SVMParams(
+            C=entry.C, kernel=RBFKernel(entry.gamma), eps=1e-3,
+            max_iter=2_000_000, shrink_eps_factor=factor,
+        )
+        fr = fit_parallel(
+            data.X_train, data.y_train, params, heuristic="multi5pc",
+            nprocs=1, machine=machine,
+        )
+        rows.append(
+            {
+                "label": label,
+                "factor": factor,
+                "iterations": fr.iterations,
+                "recons": fr.trace.n_reconstructions(),
+                "vtime_ms": fr.vtime * 1e3,
+            }
+        )
+    lines = [f"reconstruction-point ablation (multi5pc, {dataset})"]
+    for r in rows:
+        lines.append(
+            f"  {r['label']:>20}: iters={r['iterations']} "
+            f"recons={r['recons']} vtime={r['vtime_ms']:.2f}ms"
+        )
+    return "\n".join(lines), {"rows": rows}
+
+
+def run_ablation_cache(
+    dataset: str = "mnist", *, machine: Optional[MachineSpec] = None
+) -> Tuple[str, dict]:
+    """§III-A ablation: baseline kernel-cache size vs hit rate / evals
+    (the argument for the proposed solver avoiding a cache entirely)."""
+    entry = get_entry(dataset)
+    data = load_dataset(dataset)
+    params = SVMParams(
+        C=entry.C, kernel=RBFKernel(entry.gamma), eps=1e-3, max_iter=2_000_000
+    )
+    n = data.n_train
+    full = 8 * n * n  # bytes to cache every row
+    rows = []
+    for frac, label in ((1.0, "full"), (0.25, "quarter"), (0.05, "5%"), (0.0, "none")):
+        lib = solve_libsvm_style(
+            data.X_train, data.y_train, params,
+            cache_bytes=int(full * frac),
+        )
+        rows.append(
+            {
+                "cache": label,
+                "hit_rate": lib.cache_hit_rate,
+                "kernel_evals": lib.kernel_evals,
+                "iterations": lib.iterations,
+            }
+        )
+    lines = [f"kernel-cache ablation (libsvm-style baseline, {dataset}, n={n})"]
+    for r in rows:
+        lines.append(
+            f"  cache={r['cache']:>8}: hit_rate={r['hit_rate']:.3f} "
+            f"kernel_evals={r['kernel_evals']:>12} iters={r['iterations']}"
+        )
+    return "\n".join(lines), {"rows": rows}
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    id: str
+    description: str
+    run: Callable[..., Tuple[str, dict]]
+
+
+EXPERIMENTS: Dict[str, ExperimentDef] = {
+    "fig3": ExperimentDef("fig3", "HIGGS speedup up to 4096 procs", lambda **kw: run_figure("fig3", **kw)),
+    "fig4": ExperimentDef("fig4", "URL speedup up to 4096 procs", lambda **kw: run_figure("fig4", **kw)),
+    "fig5": ExperimentDef("fig5", "Forest speedup up to 1024 procs", lambda **kw: run_figure("fig5", **kw)),
+    "fig6": ExperimentDef("fig6", "MNIST speedup up to 512 procs", lambda **kw: run_figure("fig6", **kw)),
+    "fig7": ExperimentDef("fig7", "real-sim speedup up to 256 procs", lambda **kw: run_figure("fig7", **kw)),
+    "fig8": ExperimentDef("fig8", "gradient-reconstruction time fraction", run_fig8),
+    "table2": ExperimentDef("table2", "all 13 shrinking heuristics", run_table2),
+    "table4": ExperimentDef("table4", "small-dataset speedups vs libsvm-sequential", run_table4),
+    "table5": ExperimentDef("table5", "testing accuracy parity", run_table5),
+    "ablation-subsequent": ExperimentDef(
+        "ablation-subsequent", "subsequent-threshold policy", run_ablation_subsequent
+    ),
+    "ablation-recon-eps": ExperimentDef(
+        "ablation-recon-eps", "reconstruction tolerance point", run_ablation_recon_eps
+    ),
+    "ablation-cache": ExperimentDef(
+        "ablation-cache", "baseline kernel-cache sensitivity", run_ablation_cache
+    ),
+}

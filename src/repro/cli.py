@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+::
+
+    python -m repro train   --dataset mnist --heuristic multi5pc --nprocs 8
+    python -m repro train   --train-file data.libsvm --C 10 --sigma-sq 4
+    python -m repro predict --model model.json --data test.libsvm
+    python -m repro info
+    python -m repro bench   fig6 table5
+
+``train`` accepts either a registry dataset (synthetic stand-in for one
+of the paper's ten datasets) or a libsvm-format file; it prints the
+solver statistics the paper reports (iterations, SV count, shrink and
+reconstruction activity, modeled time on the Cascade-like cluster) and
+can persist the trained model as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from .core import HEURISTICS, SVC
+from .core.model import load_model, save_model
+from .data import DATASETS, load_dataset
+from .perfmodel import MachineSpec
+from .sparse import load_libsvm
+
+
+def _machine(name: str) -> MachineSpec:
+    if name == "cascade":
+        return MachineSpec.cascade()
+    if name == "python-host":
+        return MachineSpec.python_host(calibrate=True)
+    raise SystemExit(f"unknown machine {name!r} (cascade | python-host)")
+
+
+def _add_train(sub) -> None:
+    p = sub.add_parser("train", help="train a distributed shrinking SVM")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--dataset", choices=sorted(DATASETS),
+                     help="registry dataset (synthetic stand-in)")
+    src.add_argument("--train-file", help="libsvm-format training file")
+    p.add_argument("--test-file", help="libsvm-format test file")
+    p.add_argument("--scale", type=float, default=None,
+                   help="registry dataset size multiplier")
+    p.add_argument("--C", type=float, default=None)
+    p.add_argument("--gamma", type=float, default=None)
+    p.add_argument("--sigma-sq", type=float, default=None)
+    p.add_argument("--eps", type=float, default=1e-3)
+    p.add_argument("--heuristic", default="multi5pc",
+                   choices=sorted(HEURISTICS))
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--machine", default="cascade")
+    p.add_argument("--max-iter", type=int, default=10_000_000)
+    p.add_argument("--model-out", help="write the trained model (JSON)")
+
+
+def _add_predict(sub) -> None:
+    p = sub.add_parser("predict", help="apply a saved model")
+    p.add_argument("--model", required=True, help="model JSON from train")
+    p.add_argument("--data", required=True, help="libsvm-format input")
+    p.add_argument("--nprocs", type=int, default=1)
+    p.add_argument("--scores", action="store_true",
+                   help="print decision values instead of ±1 labels")
+
+
+def _add_info(sub) -> None:
+    sub.add_parser("info", help="list datasets and heuristics")
+
+
+def _add_bench(sub) -> None:
+    p = sub.add_parser("bench", help="run paper experiments")
+    p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+
+
+def cmd_train(args) -> int:
+    if args.dataset:
+        entry = DATASETS[args.dataset]
+        ds = load_dataset(args.dataset, scale=args.scale)
+        X_train, y_train = ds.X_train, ds.y_train
+        X_test, y_test = ds.X_test, ds.y_test
+        C = args.C if args.C is not None else entry.C
+        sigma_sq = args.sigma_sq if args.sigma_sq is not None else (
+            None if args.gamma is not None else entry.sigma_sq
+        )
+        print(ds.describe())
+    else:
+        X_train, y_train = load_libsvm(args.train_file)
+        X_test = y_test = None
+        C = args.C if args.C is not None else 1.0
+        sigma_sq = args.sigma_sq
+        print(f"loaded {args.train_file}: n={X_train.shape[0]} "
+              f"d={X_train.shape[1]} density={X_train.density:.4f}")
+    if args.test_file:
+        n_feat = X_train.shape[1]
+        X_test, y_test = load_libsvm(args.test_file, n_features=n_feat)
+
+    clf = SVC(
+        C=C,
+        gamma=args.gamma,
+        sigma_sq=sigma_sq,
+        eps=args.eps,
+        heuristic=args.heuristic,
+        nprocs=args.nprocs,
+        machine=_machine(args.machine),
+        max_iter=args.max_iter,
+    )
+    t0 = time.perf_counter()
+    clf.fit(X_train, y_train)
+    wall = time.perf_counter() - t0
+
+    stats = clf.fit_result_.stats
+    trace = clf.fit_result_.trace
+    print(
+        f"trained in {wall:.2f}s wall "
+        f"({stats.vtime * 1e3:.2f} ms modeled on {args.machine} "
+        f"x {args.nprocs} ranks)"
+    )
+    print(
+        f"iterations={stats.iterations} SVs={stats.n_sv} "
+        f"shrunk={trace.total_shrunk()} "
+        f"reconstructions={trace.n_reconstructions()} "
+        f"messages={stats.messages} MB={stats.bytes_sent / 1e6:.2f}"
+    )
+    print(f"train accuracy: {clf.score(X_train, y_train):.4f}")
+    if X_test is not None and y_test is not None and len(y_test):
+        print(f"test accuracy:  {clf.score(X_test, y_test):.4f}")
+    if args.model_out:
+        save_model(clf.model_, args.model_out)
+        print(f"model written to {args.model_out}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    model = load_model(args.model)
+    X, _ = load_libsvm(args.data, n_features=model.sv_X.shape[1])
+    from .core import decision_function_parallel
+
+    out = decision_function_parallel(model, X, nprocs=args.nprocs)
+    values = out.decision_values if args.scores else out.labels
+    for v in values:
+        print(f"{v:.6g}" if args.scores else f"{int(v):+d}")
+    print(
+        f"# {X.shape[0]} predictions, modeled time "
+        f"{out.vtime * 1e3:.3f} ms on {args.nprocs} ranks",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_info(_args) -> int:
+    print("datasets (synthetic stand-ins for the paper's Table III):")
+    for name, e in DATASETS.items():
+        print(
+            f"  {name:>10}: paper N={e.paper_train:>9,} d={e.n_features:>9,} "
+            f"C={e.C:<4g} sigma^2={e.sigma_sq:<4g} "
+            f"default run n={max(16, int(e.paper_train * e.default_scale))}"
+        )
+    print("\nshrinking heuristics (Table II):")
+    for name, h in HEURISTICS.items():
+        thresh = (
+            "never fires"
+            if not h.shrinks
+            else f"{h.threshold_kind}={h.threshold_value:g}"
+        )
+        print(f"  {name:>12}: {thresh:<18} reconstruction={h.reconstruction}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench.__main__ import main as bench_main
+
+    return bench_main(args.ids)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed shrinking SVM (CLUSTER 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_train(sub)
+    _add_predict(sub)
+    _add_info(sub)
+    _add_bench(sub)
+    args = parser.parse_args(argv)
+    return {
+        "train": cmd_train,
+        "predict": cmd_predict,
+        "info": cmd_info,
+        "bench": cmd_bench,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Gradient initialization and rank-local updates (Eq. 1-2).
+
+The gradient in the paper's convention is
+
+    γ_i = Σ_j α_j y_j Φ(x_i, x_j) − y_i            (Eq. 1)
+
+so at α = 0 the gradient is simply −y.  Each SMO step changes exactly two
+α's (the working set), and every sample's gradient is updated with two
+kernel evaluations (Eq. 2)::
+
+    γ_i += y_up·Δα_up·Φ(x_up, x_i) + y_low·Δα_low·Φ(x_low, x_i)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def init_gradient(y: np.ndarray) -> np.ndarray:
+    """γ at the initial point α = 0."""
+    return -np.asarray(y, dtype=np.float64)
+
+
+def apply_pair_update(
+    gamma: np.ndarray,
+    k_up: np.ndarray,
+    k_low: np.ndarray,
+    y_up: float,
+    y_low: float,
+    d_alpha_up: float,
+    d_alpha_low: float,
+) -> None:
+    """In-place Eq. (2) update of ``gamma`` (any subset of samples).
+
+    ``k_up``/``k_low`` are the kernel values of the two working-set
+    samples against the same subset ``gamma`` covers.
+    """
+    if k_up.shape != gamma.shape or k_low.shape != gamma.shape:
+        raise ValueError(
+            f"kernel column shapes {k_up.shape}/{k_low.shape} do not match "
+            f"gradient shape {gamma.shape}"
+        )
+    coef_up = y_up * d_alpha_up
+    coef_low = y_low * d_alpha_low
+    if coef_up != 0.0:
+        gamma += coef_up * k_up
+    if coef_low != 0.0:
+        gamma += coef_low * k_low
+
+
+def full_gradient(
+    kernel_matrix: np.ndarray, alpha: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Direct Eq. (1) evaluation from a dense kernel matrix (tests only)."""
+    return kernel_matrix @ (alpha * y) - y

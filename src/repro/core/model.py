@@ -1,0 +1,134 @@
+"""The trained model: support vectors + hyperplane threshold.
+
+The decision function is
+
+    f(x) = Σ_j α_j y_j Φ(x_j, x) − β
+
+with β the paper's hyperplane threshold (§III); predictions are
+sign(f(x)).  Only samples with α > 0 (the support vectors, ζ) are kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..kernels import Kernel, make_kernel
+from ..sparse.csr import CSRMatrix
+
+
+@dataclass
+class SVMModel:
+    """A trained two-class SVM."""
+
+    sv_X: CSRMatrix  # support-vector rows
+    sv_coef: np.ndarray  # α_j · y_j per support vector
+    sv_indices: np.ndarray  # global training indices of the SVs
+    beta: float  # hyperplane threshold; offset b = −β
+    kernel: Kernel
+
+    def __post_init__(self) -> None:
+        if self.sv_coef.shape != (self.sv_X.shape[0],):
+            raise ValueError(
+                f"{self.sv_coef.shape[0]} coefficients for "
+                f"{self.sv_X.shape[0]} support vectors"
+            )
+        self._sv_norms = self.sv_X.row_norms_sq()
+
+    @property
+    def n_sv(self) -> int:
+        return self.sv_X.shape[0]
+
+    @property
+    def b(self) -> float:
+        """Decision-function offset (−β)."""
+        return -self.beta
+
+    def decision_function(
+        self, X: Union[CSRMatrix, np.ndarray]
+    ) -> np.ndarray:
+        """f(x) for every row of ``X``."""
+        X = _as_csr(X, self.sv_X.shape[1])
+        norms = X.row_norms_sq()
+        out = np.empty(X.shape[0])
+        for i in range(X.shape[0]):
+            xi, xv = X.row(i)
+            kvals = self.kernel.row_against_block(
+                self.sv_X, self._sv_norms, xi, xv, float(norms[i])
+            )
+            out[i] = float(self.sv_coef @ kvals) - self.beta
+        return out
+
+    def predict(self, X: Union[CSRMatrix, np.ndarray]) -> np.ndarray:
+        """±1 labels for every row of ``X``."""
+        f = self.decision_function(X)
+        return np.where(f >= 0.0, 1.0, -1.0)
+
+    def accuracy(self, X: Union[CSRMatrix, np.ndarray], y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y, dtype=np.float64)))
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "sv_X": self.sv_X.to_bytes(),
+            "sv_coef": self.sv_coef.tolist(),
+            "sv_indices": self.sv_indices.tolist(),
+            "beta": self.beta,
+            "kernel": {"name": self.kernel.name, **self.kernel.params()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SVMModel":
+        kparams = dict(d["kernel"])
+        name = kparams.pop("name")
+        return cls(
+            sv_X=CSRMatrix.from_bytes(d["sv_X"]),
+            sv_coef=np.asarray(d["sv_coef"], dtype=np.float64),
+            sv_indices=np.asarray(d["sv_indices"], dtype=np.int64),
+            beta=float(d["beta"]),
+            kernel=make_kernel(name, **kparams),
+        )
+
+
+def save_model(model: SVMModel, path) -> None:
+    """Write a model to a JSON file (support vectors base64-encoded)."""
+    import base64
+    import json
+    from pathlib import Path
+
+    d = model.to_dict()
+    d["sv_X"] = base64.b64encode(d["sv_X"]).decode("ascii")
+    Path(path).write_text(json.dumps(d), encoding="utf-8")
+
+
+def load_model(path) -> SVMModel:
+    """Read a model written by :func:`save_model`."""
+    import base64
+    import json
+    from pathlib import Path
+
+    d = json.loads(Path(path).read_text(encoding="utf-8"))
+    d["sv_X"] = base64.b64decode(d["sv_X"])
+    return SVMModel.from_dict(d)
+
+
+def _as_csr(X: Union[CSRMatrix, np.ndarray], n_features: int) -> CSRMatrix:
+    if isinstance(X, CSRMatrix):
+        if X.shape[1] != n_features:
+            raise ValueError(
+                f"{X.shape[1]} features in input, model has {n_features}"
+            )
+        return X
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X[None, :]
+    if X.shape[1] != n_features:
+        raise ValueError(
+            f"{X.shape[1]} features in input, model has {n_features}"
+        )
+    return CSRMatrix.from_dense(X)

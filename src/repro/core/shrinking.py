@@ -1,0 +1,147 @@
+"""The paper's shrinking heuristics (Table II).
+
+A heuristic is the combination of
+
+- an *initial shrinking threshold*: the iteration count before the first
+  shrink pass — either a fixed count ("random: 2/500/1000", after Lin's
+  libsvm practice) or a fraction of the sample count ("numsamples:
+  5/10/50 %");
+- a *gradient-reconstruction policy*: ``single`` (Algorithm 4: one
+  reconstruction, then shrinking is disabled) or ``multi`` (Algorithm 5:
+  reconstruct at 20ε and again after each 2ε convergence until optimal);
+- a *subsequent-threshold policy* (§IV-A2): after each shrink pass the
+  next threshold is the global active-set size (the paper's adaptive
+  default, computed with an Allreduce) or the initial threshold again.
+
+``Original`` is the no-shrinking baseline (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+#: aggressiveness classes from Table II
+AGGRESSIVE = "aggressive"
+AVERAGE = "average"
+CONSERVATIVE = "conservative"
+
+
+@dataclass(frozen=True)
+class Heuristic:
+    """One row of Table II."""
+
+    name: str
+    threshold_kind: str  # "random" | "numsamples" | "none"
+    threshold_value: float  # iterations, or fraction of N
+    reconstruction: str  # "single" | "multi" | "none"
+    klass: str  # aggressiveness class
+    subsequent: str = "active_set"  # "active_set" | "initial"
+
+    def __post_init__(self) -> None:
+        if self.threshold_kind not in ("random", "numsamples", "none"):
+            raise ValueError(f"bad threshold kind {self.threshold_kind!r}")
+        if self.reconstruction not in ("single", "multi", "none", "never"):
+            raise ValueError(f"bad reconstruction {self.reconstruction!r}")
+        if self.subsequent not in ("active_set", "initial"):
+            raise ValueError(f"bad subsequent policy {self.subsequent!r}")
+        if self.threshold_kind == "numsamples" and not 0 < self.threshold_value <= 1:
+            raise ValueError(
+                f"numsamples threshold must be a fraction in (0, 1], "
+                f"got {self.threshold_value}"
+            )
+        if self.threshold_kind == "random" and self.threshold_value < 1:
+            raise ValueError(
+                f"random threshold must be >= 1 iteration, got {self.threshold_value}"
+            )
+
+    @property
+    def shrinks(self) -> bool:
+        return self.threshold_kind != "none"
+
+    def initial_threshold(self, n_samples: int) -> float:
+        """Iterations before the first shrink pass (inf = never)."""
+        if self.threshold_kind == "none":
+            return math.inf
+        if self.threshold_kind == "random":
+            return float(self.threshold_value)
+        return max(1.0, math.ceil(self.threshold_value * n_samples))
+
+    def with_subsequent(self, policy: str) -> "Heuristic":
+        """Variant with a different subsequent-threshold policy (ablations)."""
+        return replace(self, subsequent=policy)
+
+
+def _table2() -> Dict[str, Heuristic]:
+    entries: Tuple[Tuple[str, str, float, str, str], ...] = (
+        # name,        kind,         value, recon,    class
+        ("original", "none", 0.0, "none", "none"),
+        ("single2", "random", 2, "single", AGGRESSIVE),
+        ("single500", "random", 500, "single", AGGRESSIVE),
+        ("single1000", "random", 1000, "single", AVERAGE),
+        ("single5pc", "numsamples", 0.05, "single", AGGRESSIVE),
+        ("single10pc", "numsamples", 0.10, "single", AVERAGE),
+        ("single50pc", "numsamples", 0.50, "single", CONSERVATIVE),
+        ("multi2", "random", 2, "multi", AGGRESSIVE),
+        ("multi500", "random", 500, "multi", AGGRESSIVE),
+        ("multi1000", "random", 1000, "multi", AVERAGE),
+        ("multi5pc", "numsamples", 0.05, "multi", AGGRESSIVE),
+        ("multi10pc", "numsamples", 0.10, "multi", AVERAGE),
+        ("multi50pc", "numsamples", 0.50, "multi", CONSERVATIVE),
+    )
+    out = {}
+    for name, kind, value, recon, klass in entries:
+        out[name] = Heuristic(
+            name=name,
+            threshold_kind=kind,
+            threshold_value=value,
+            reconstruction=recon,
+            klass=klass,
+        )
+    return out
+
+
+#: Table II, keyed by lower-case name ("original", "single2", ..., "multi50pc")
+HEURISTICS: Dict[str, Heuristic] = _table2()
+
+#: the paper's observed best / worst heuristics across datasets (§V-D)
+BEST_HEURISTIC = "multi5pc"
+WORST_HEURISTIC = "single50pc"
+
+
+def unsafe_variant(name_or_heuristic, name: str | None = None) -> Heuristic:
+    """Permanent-elimination variant of a heuristic (no reconstruction).
+
+    This is the design choice the paper rejects (§IV: "the algorithm may
+    lose accuracy — an approach recently considered by
+    Communication-Avoiding SVM") — samples are eliminated for good, the
+    gradients of shrunk samples are never repaired, and the returned
+    solution is only approximately optimal.  Provided for the ablation
+    benches that quantify exactly what the paper's reconstruction buys.
+    """
+    base = get_heuristic(name_or_heuristic)
+    if not base.shrinks:
+        raise ValueError("the no-shrinking heuristic has no unsafe variant")
+    return Heuristic(
+        name=name or f"unsafe-{base.name}",
+        threshold_kind=base.threshold_kind,
+        threshold_value=base.threshold_value,
+        reconstruction="never",
+        klass=base.klass,
+        subsequent=base.subsequent,
+    )
+
+
+def get_heuristic(name_or_heuristic) -> Heuristic:
+    """Resolve a heuristic by (case-insensitive) name or pass one through."""
+    if isinstance(name_or_heuristic, Heuristic):
+        return name_or_heuristic
+    key = str(name_or_heuristic).lower()
+    try:
+        return HEURISTICS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown heuristic {name_or_heuristic!r}; "
+            f"choose from {sorted(HEURISTICS)}"
+        ) from None

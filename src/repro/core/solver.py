@@ -1,0 +1,159 @@
+"""Driver: set up shards, run the SPMD job, assemble the model.
+
+:func:`fit_parallel` is the library's mid-level entry point — it takes a
+full ``(X, y)``, partitions it block-row across ``nprocs`` simulated
+ranks, runs the selected Table II heuristic, and returns the trained
+:class:`~repro.core.model.SVMModel` together with the merged trace and
+virtual-time statistics.  The high-level sklearn-style facade lives in
+:mod:`repro.core.svc`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..mpi import SpmdResult, run_spmd
+from ..perfmodel.machine import MachineSpec
+from ..sparse.csr import CSRMatrix
+from ..sparse.partition import BlockPartition
+from .model import SVMModel
+from .parallel import RankResult, solve_rank
+from .params import SVMParams
+from .shrinking import Heuristic, get_heuristic
+from .state import make_blocks
+from .trace import FitStats, SolveTrace
+
+
+@dataclass
+class FitResult:
+    """Outcome of one distributed training run."""
+
+    model: SVMModel
+    stats: FitStats
+    trace: SolveTrace
+    spmd: SpmdResult
+    alpha: np.ndarray  # full α vector in global order
+    beta_up: float
+    beta_low: float
+
+    @property
+    def vtime(self) -> float:
+        return self.stats.vtime
+
+    @property
+    def iterations(self) -> int:
+        return self.stats.iterations
+
+
+def fit_parallel(
+    X: Union[CSRMatrix, np.ndarray],
+    y: np.ndarray,
+    params: SVMParams,
+    *,
+    heuristic: Union[str, Heuristic] = "multi5pc",
+    nprocs: int = 1,
+    machine: Optional[MachineSpec] = None,
+    deadlock_timeout: float = 120.0,
+    warm_start_alpha: Optional[np.ndarray] = None,
+) -> FitResult:
+    """Train with the distributed solver on ``nprocs`` simulated ranks.
+
+    ``warm_start_alpha`` seeds the solve from a previous dual solution
+    (same samples and kernel — e.g. re-fitting after a small C change,
+    or the next step of a regularization path).  The initial gradients
+    are rebuilt from the seed with one gradient-reconstruction ring, so
+    warm starting costs O(|{α>0}|·N/p) once instead of re-running the
+    full iteration history.
+    """
+    if not isinstance(X, CSRMatrix):
+        X = CSRMatrix.from_dense(np.asarray(X, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64)
+    n = X.shape[0]
+    if y.shape != (n,):
+        raise ValueError(f"{y.size} labels for {n} samples")
+    if n == 0:
+        raise ValueError("empty training set")
+    if not np.all(np.abs(y) == 1.0):
+        raise ValueError("labels must be +1/-1 (use repro.core.SVC for raw labels)")
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    if nprocs > n:
+        raise ValueError(f"nprocs={nprocs} exceeds sample count {n}")
+    heur = get_heuristic(heuristic)
+
+    part = BlockPartition(n, nprocs)
+    blocks = make_blocks(X, y, part)
+
+    if warm_start_alpha is not None:
+        warm_start_alpha = np.asarray(warm_start_alpha, dtype=np.float64)
+        if warm_start_alpha.shape != (n,):
+            raise ValueError(
+                f"warm_start_alpha has shape {warm_start_alpha.shape}, "
+                f"expected ({n},)"
+            )
+        box = params.box_for(y)
+        if np.any(warm_start_alpha < -1e-12) or np.any(
+            warm_start_alpha > box + 1e-9
+        ):
+            raise ValueError("warm_start_alpha violates the box constraints")
+        if abs(float(warm_start_alpha @ y)) > 1e-6 * max(1.0, params.C):
+            raise ValueError(
+                "warm_start_alpha violates the equality constraint sum(a*y)=0"
+            )
+        for rank, blk in enumerate(blocks):
+            lo, hi = part.bounds(rank)
+            blk.alpha[:] = np.clip(warm_start_alpha[lo:hi], 0.0, box[lo:hi])
+            # mark every sample stale: the first reconstruction pass in
+            # solve_rank rebuilds gradients from the seeded alphas
+            blk.active[:] = False
+            blk.invalidate_active()
+
+    def entry(comm):
+        return solve_rank(comm, blocks[comm.rank], part, params, heur)
+
+    t0 = time.perf_counter()
+    spmd = run_spmd(
+        entry, nprocs, machine=machine, deadlock_timeout=deadlock_timeout
+    )
+    wall = time.perf_counter() - t0
+    results: List[RankResult] = spmd.results
+
+    alpha = np.concatenate([r.alpha for r in results])
+    beta = results[0].beta
+    sv_idx = np.flatnonzero(alpha > 0)
+    model = SVMModel(
+        sv_X=X.take_rows(sv_idx),
+        sv_coef=alpha[sv_idx] * y[sv_idx],
+        sv_indices=sv_idx,
+        beta=beta,
+        kernel=params.kernel,
+    )
+    trace = SolveTrace.merge(
+        [r.trace for r in results], n, X.shape[1], X.avg_row_nnz
+    )
+    stats = FitStats(
+        heuristic=heur.name,
+        nprocs=nprocs,
+        iterations=results[0].iterations,
+        n_sv=int(sv_idx.size),
+        beta=beta,
+        vtime=spmd.vtime,
+        wall_time=wall,
+        kernel_evals=trace.kernel_evals,
+        bytes_sent=spmd.total_bytes_sent,
+        messages=spmd.total_messages,
+        trace=trace,
+    )
+    return FitResult(
+        model=model,
+        stats=stats,
+        trace=trace,
+        spmd=spmd,
+        alpha=alpha,
+        beta_up=results[0].beta_up,
+        beta_low=results[0].beta_low,
+    )

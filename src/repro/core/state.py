@@ -1,0 +1,118 @@
+"""Per-rank solver state.
+
+One :class:`LocalBlock` holds a rank's contiguous slice of the training
+set and the per-sample data structures the paper co-locates with it
+(§III-A): labels, Lagrange multipliers α, gradients γ and the active
+(non-shrunk) mask.  The active-row CSR sub-block used by the gradient
+hot path is cached and rebuilt only when the active set changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.partition import BlockPartition
+
+
+class LocalBlock:
+    """A rank's shard of the problem."""
+
+    def __init__(
+        self,
+        X: CSRMatrix,
+        y: np.ndarray,
+        global_start: int,
+        gamma0: Optional[np.ndarray] = None,
+    ) -> None:
+        """``gamma0`` is the gradient at α = 0.  The default, −y, is the
+        classification dual (Eq. 1); the ε-SVR reduction passes its own
+        linear term (see :mod:`repro.core.svr`)."""
+        n = X.shape[0]
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (n,):
+            raise ValueError(f"{y.shape} labels for {n} local rows")
+        self.X = X
+        self.y = y
+        self.global_start = int(global_start)
+        self.n_local = n
+        self.norms = X.row_norms_sq()
+        self.alpha = np.zeros(n)
+        if gamma0 is None:
+            gamma0 = -y
+        else:
+            gamma0 = np.asarray(gamma0, dtype=np.float64)
+            if gamma0.shape != (n,):
+                raise ValueError(f"{gamma0.shape} gamma0 for {n} local rows")
+        self.gamma0 = gamma0.copy()
+        self.gamma = gamma0.copy()
+        self.active = np.ones(n, dtype=bool)
+        self._active_cache: Optional[Tuple[np.ndarray, CSRMatrix, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def invalidate_active(self) -> None:
+        """Drop the cached active sub-block (call after (de)activation)."""
+        self._active_cache = None
+
+    def active_view(self) -> Tuple[np.ndarray, CSRMatrix, np.ndarray]:
+        """``(local_indices, X_active, norms_active)`` of the active set."""
+        if self._active_cache is None:
+            idx = np.flatnonzero(self.active)
+            self._active_cache = (idx, self.X.take_rows(idx), self.norms[idx])
+        return self._active_cache
+
+    @property
+    def n_active(self) -> int:
+        return int(np.count_nonzero(self.active))
+
+    @property
+    def n_shrunk(self) -> int:
+        return self.n_local - self.n_active
+
+    def owns_global(self, g: int) -> bool:
+        return self.global_start <= g < self.global_start + self.n_local
+
+    def to_local(self, g: int) -> int:
+        if not self.owns_global(g):
+            raise IndexError(
+                f"global index {g} not in local range "
+                f"[{self.global_start}, {self.global_start + self.n_local})"
+            )
+        return g - self.global_start
+
+    def sample_payload(self, local_i: int) -> tuple:
+        """The tuple shipped when this rank's sample joins the working set:
+        ``(indices, values, ||x||², y, α)``."""
+        idx, vals = self.X.row(local_i)
+        return (
+            idx.copy(),
+            vals.copy(),
+            float(self.norms[local_i]),
+            float(self.y[local_i]),
+            float(self.alpha[local_i]),
+        )
+
+
+def make_blocks(
+    X: CSRMatrix,
+    y: np.ndarray,
+    part: BlockPartition,
+    gamma0: Optional[np.ndarray] = None,
+) -> list:
+    """Split a full problem into per-rank :class:`LocalBlock` shards."""
+    y = np.asarray(y, dtype=np.float64)
+    blocks = []
+    for rank in range(part.p):
+        lo, hi = part.bounds(rank)
+        rows = np.arange(lo, hi)
+        blocks.append(
+            LocalBlock(
+                X.take_rows(rows),
+                y[lo:hi],
+                lo,
+                gamma0=None if gamma0 is None else gamma0[lo:hi],
+            )
+        )
+    return blocks

@@ -1,0 +1,240 @@
+"""High-level sklearn-style classifier facade.
+
+Wraps the distributed solver with label mapping, kernel construction
+from scalar hyperparameters and the familiar ``fit``/``predict``/
+``score`` interface::
+
+    from repro.core import SVC
+
+    clf = SVC(C=10.0, sigma_sq=4.0, heuristic="multi5pc", nprocs=8)
+    clf.fit(X_train, y_train)
+    acc = clf.score(X_test, y_test)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..kernels import Kernel, RBFKernel, make_kernel
+from ..perfmodel.machine import MachineSpec
+from ..sparse.csr import CSRMatrix
+from .params import SVMParams
+from .shrinking import Heuristic, get_heuristic
+from .solver import FitResult, fit_parallel
+
+
+class NotFittedError(RuntimeError):
+    """predict/score called before fit."""
+
+
+class SVC:
+    """Two-class support vector classifier on the simulated cluster.
+
+    Parameters
+    ----------
+    C:
+        Box constraint.
+    kernel:
+        Kernel name (``"rbf"``/``"linear"``/``"poly"``/``"sigmoid"``) or a
+        :class:`~repro.kernels.Kernel` instance.
+    gamma, sigma_sq:
+        RBF width — give either γ directly or the paper's σ² (γ = 1/σ²).
+    eps:
+        SMO stopping tolerance ε (Eq. 5).
+    heuristic:
+        A Table II heuristic name (``"original"``, ``"single5pc"``, ...,
+        ``"multi50pc"``) or a :class:`~repro.core.shrinking.Heuristic`.
+    nprocs:
+        Simulated MPI process count.
+    machine:
+        Machine model for virtual-time accounting (default: the paper's
+        Cascade testbed).
+    max_iter:
+        Iteration safety bound.
+    class_weight:
+        ``None`` (unweighted), a ``{label: weight}`` dict in the
+        original label space, or ``"balanced"`` (weights inversely
+        proportional to class frequencies, as in sklearn/libsvm).
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: Union[str, Kernel] = "rbf",
+        gamma: Optional[float] = None,
+        sigma_sq: Optional[float] = None,
+        eps: float = 1e-3,
+        heuristic: Union[str, Heuristic] = "multi5pc",
+        nprocs: int = 1,
+        machine: Optional[MachineSpec] = None,
+        max_iter: int = 10_000_000,
+        shrink_eps_factor: float = 10.0,
+        class_weight: Optional[Union[dict, str]] = None,
+    ) -> None:
+        if gamma is not None and sigma_sq is not None:
+            raise ValueError("give either gamma or sigma_sq, not both")
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.sigma_sq = sigma_sq
+        self.eps = eps
+        self.heuristic = heuristic
+        self.nprocs = nprocs
+        self.machine = machine
+        self.max_iter = max_iter
+        self.shrink_eps_factor = shrink_eps_factor
+        self.class_weight = class_weight
+
+        self.model_ = None
+        self.fit_result_: Optional[FitResult] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _build_kernel(self) -> Kernel:
+        if isinstance(self.kernel, Kernel):
+            return self.kernel
+        name = str(self.kernel)
+        if name == "rbf":
+            if self.sigma_sq is not None:
+                return RBFKernel.from_sigma_sq(self.sigma_sq)
+            return RBFKernel(self.gamma if self.gamma is not None else 1.0)
+        kwargs = {}
+        if self.gamma is not None:
+            kwargs["gamma"] = self.gamma
+        return make_kernel(name, **kwargs)
+
+    def _class_weights(self, y: np.ndarray) -> tuple:
+        """(weight_neg, weight_pos) for classes_ = (neg_label, pos_label)."""
+        if self.class_weight is None:
+            return 1.0, 1.0
+        neg_label, pos_label = self.classes_
+        if self.class_weight == "balanced":
+            n = y.shape[0]
+            n_pos = int(np.count_nonzero(y == pos_label))
+            n_neg = n - n_pos
+            if n_pos == 0 or n_neg == 0:
+                raise ValueError("balanced weights need both classes present")
+            return n / (2.0 * n_neg), n / (2.0 * n_pos)
+        if isinstance(self.class_weight, dict):
+            try:
+                return (
+                    float(self.class_weight[neg_label]),
+                    float(self.class_weight[pos_label]),
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"class_weight missing an entry for label {exc.args[0]!r}"
+                ) from None
+        raise ValueError(
+            f"class_weight must be None, 'balanced' or a dict; "
+            f"got {self.class_weight!r}"
+        )
+
+    def _params(self, weight_neg: float = 1.0, weight_pos: float = 1.0) -> SVMParams:
+        return SVMParams(
+            C=self.C,
+            kernel=self._build_kernel(),
+            eps=self.eps,
+            max_iter=self.max_iter,
+            shrink_eps_factor=self.shrink_eps_factor,
+            weight_pos=weight_pos,
+            weight_neg=weight_neg,
+        )
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y) -> "SVC":
+        """Train on ``(X, y)``; y may use any two label values."""
+        y = np.asarray(y)
+        classes = np.unique(y)
+        if classes.size != 2:
+            raise ValueError(
+                f"need exactly two classes, got {classes.size}: {classes!r}"
+            )
+        # map to −1/+1 with the larger label as +1 (sklearn convention)
+        self.classes_ = classes
+        y_signed = np.where(y == classes[1], 1.0, -1.0)
+        weight_neg, weight_pos = self._class_weights(y)
+        self.fit_result_ = fit_parallel(
+            X,
+            y_signed,
+            self._params(weight_neg, weight_pos),
+            heuristic=get_heuristic(self.heuristic),
+            nprocs=self.nprocs,
+            machine=self.machine,
+        )
+        self.model_ = self.fit_result_.model
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.model_ is None:
+            raise NotFittedError("call fit() before predict/score")
+
+    def decision_function(self, X) -> np.ndarray:
+        self._check_fitted()
+        return self.model_.decision_function(X)
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted labels in the original label space."""
+        self._check_fitted()
+        signed = self.model_.predict(X)
+        return np.where(signed > 0, self.classes_[1], self.classes_[0])
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    # ------------------------------------------------------------------
+    # fitted attributes (sklearn-flavoured)
+    # ------------------------------------------------------------------
+    @property
+    def support_(self) -> np.ndarray:
+        self._check_fitted()
+        return self.model_.sv_indices
+
+    @property
+    def dual_coef_(self) -> np.ndarray:
+        self._check_fitted()
+        return self.model_.sv_coef
+
+    @property
+    def intercept_(self) -> float:
+        self._check_fitted()
+        return self.model_.b
+
+    @property
+    def n_iter_(self) -> int:
+        self._check_fitted()
+        return self.fit_result_.iterations
+
+    @property
+    def n_support_(self) -> int:
+        self._check_fitted()
+        return self.model_.n_sv
+
+    def get_params(self) -> dict:
+        return {
+            "C": self.C,
+            "kernel": self.kernel if isinstance(self.kernel, str) else self.kernel.name,
+            "gamma": self.gamma,
+            "sigma_sq": self.sigma_sq,
+            "eps": self.eps,
+            "heuristic": (
+                self.heuristic
+                if isinstance(self.heuristic, str)
+                else self.heuristic.name
+            ),
+            "nprocs": self.nprocs,
+            "max_iter": self.max_iter,
+            "shrink_eps_factor": self.shrink_eps_factor,
+            "class_weight": self.class_weight,
+        }
+
+    def set_params(self, **kwargs) -> "SVC":
+        for k, v in kwargs.items():
+            if not hasattr(self, k):
+                raise ValueError(f"unknown parameter {k!r}")
+            setattr(self, k, v)
+        return self

@@ -1,0 +1,139 @@
+"""Working-set selection (Eq. 3) and the two-sample analytic step (Eq. 6-7).
+
+Selection is the maximal-violating-pair rule of Keerthi et al.: the
+worst violators
+
+    β_up  = min{γ_i : i ∈ I0 ∪ I1 ∪ I2},   i_up  = argmin
+    β_low = max{γ_i : i ∈ I0 ∪ I3 ∪ I4},   i_low = argmax
+
+Ties are broken toward the smallest global index, which makes the
+iteration sequence independent of the process count — the distributed
+solver at any p replays the sequential solver's steps exactly.
+
+The α update solves the two-variable QP analytically.  The paper's
+Eq. (6) is the unconstrained Newton step
+
+    α_low' = α_low − y_low (γ_up − γ_low) / ρ,
+    ρ = 2Φ(up,low) − Φ(up,up) − Φ(low,low)
+
+followed by clipping to the feasible box (Platt's L/H bounds).  For
+non-positive-definite ρ ≥ 0 we apply libsvm's τ-regularization
+(ρ := −τ), which matches Platt's endpoint handling in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: regularizer for non-PSD pair curvature (libsvm's TAU)
+TAU = 1e-12
+
+#: sentinel index used when a rank has no eligible candidate
+NO_INDEX = -1
+
+
+@dataclass(frozen=True)
+class Violators:
+    """The global worst-violator pair after the allreduce."""
+
+    beta_up: float
+    i_up: int
+    gamma_up: float
+    beta_low: float
+    i_low: int
+    gamma_low: float
+
+    def gap(self) -> float:
+        return self.beta_low - self.beta_up
+
+    def converged(self, eps: float) -> bool:
+        """Eq. (5): β_up + 2ε ≥ β_low."""
+        return self.beta_up + 2.0 * eps >= self.beta_low
+
+
+def local_extrema(
+    gamma: np.ndarray,
+    up: np.ndarray,
+    low: np.ndarray,
+    global_offset: int,
+) -> Tuple[float, int, float, int]:
+    """This rank's (β_up, i_up, β_low, i_low) over the given masks.
+
+    Returns global indices; ``(inf, NO_INDEX)`` / ``(-inf, NO_INDEX)``
+    when the respective candidate set is empty on this rank.
+    """
+    beta_up, i_up = np.inf, NO_INDEX
+    beta_low, i_low = -np.inf, NO_INDEX
+    up_idx = np.flatnonzero(up)
+    if up_idx.size:
+        k = up_idx[np.argmin(gamma[up_idx])]
+        beta_up, i_up = float(gamma[k]), global_offset + int(k)
+    low_idx = np.flatnonzero(low)
+    if low_idx.size:
+        k = low_idx[np.argmax(gamma[low_idx])]
+        beta_low, i_low = float(gamma[k]), global_offset + int(k)
+    return beta_up, i_up, beta_low, i_low
+
+
+def solve_pair(
+    k_up_up: float,
+    k_low_low: float,
+    k_up_low: float,
+    y_up: float,
+    y_low: float,
+    alpha_up: float,
+    alpha_low: float,
+    gamma_up: float,
+    gamma_low: float,
+    C_up: float,
+    C_low: float | None = None,
+) -> Tuple[float, float]:
+    """Analytic two-variable step; returns (α_up', α_low') clipped.
+
+    Follows Eq. (6)-(7) with standard box clipping.  The pair constraint
+    y_up·α_up + y_low·α_low = const is preserved exactly.  ``C_up`` /
+    ``C_low`` are the two samples' box constraints (they differ under
+    per-class weighting; pass one value for the unweighted problem).
+    """
+    if C_low is None:
+        C_low = C_up
+    rho = 2.0 * k_up_low - k_up_up - k_low_low  # Eq. (7); <= 0 for PSD
+    if rho >= 0.0:
+        rho = -TAU  # libsvm's handling of non-PD curvature
+    # unconstrained Newton step on α_low (Eq. 6)
+    new_low = alpha_low - y_low * (gamma_up - gamma_low) / rho
+    # feasible interval for α_low given the pair constraint
+    s = y_up * y_low
+    if s > 0:
+        total = alpha_up + alpha_low
+        lo = max(0.0, total - C_up)
+        hi = min(C_low, total)
+    else:
+        diff = alpha_low - alpha_up
+        lo = max(0.0, diff)
+        hi = min(C_low, C_up + diff)
+    new_low = min(max(new_low, lo), hi)
+    new_up = alpha_up + s * (alpha_low - new_low)  # Eq. (6), second line
+    # snap residual round-off onto the box
+    new_up = min(max(new_up, 0.0), C_up)
+    return new_up, new_low
+
+
+def compute_beta(
+    gamma: np.ndarray,
+    free: np.ndarray,
+    beta_up: float,
+    beta_low: float,
+) -> float:
+    """Final hyperplane threshold β (§III):
+
+    mean of γ over I0 when I0 is non-empty, else the β midpoint.
+    The decision function offset is b = −β.
+    """
+    n_free = int(np.count_nonzero(free))
+    if n_free:
+        return float(gamma[free].sum() / n_free)
+    return 0.5 * (beta_low + beta_up)

@@ -1,0 +1,37 @@
+"""``repro.data`` — dataset substrate.
+
+Synthetic stand-ins for the paper's public datasets (see DESIGN.md §2
+for the substitution rationale), the registry with Table III's
+hyperparameters, and feature scaling.
+"""
+
+from .registry import (
+    DATASETS,
+    LARGE_DATASETS,
+    TABLE4_DATASETS,
+    TABLE5_DATASETS,
+    DatasetEntry,
+    PaperFacts,
+    get_entry,
+    load_dataset,
+    load_dataset_from_files,
+)
+from .scaling import MinMaxScaler
+from .synthetic import Dataset, SyntheticSpec, generate, two_gaussians
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "DatasetEntry",
+    "LARGE_DATASETS",
+    "MinMaxScaler",
+    "PaperFacts",
+    "SyntheticSpec",
+    "TABLE4_DATASETS",
+    "TABLE5_DATASETS",
+    "generate",
+    "get_entry",
+    "load_dataset",
+    "load_dataset_from_files",
+    "two_gaussians",
+]

@@ -1,0 +1,72 @@
+"""Feature scaling, in the libsvm ``svm-scale`` style.
+
+Scaling to [0, 1] (or [-1, 1]) per feature is standard practice for the
+paper's datasets.  The scaler learns column ranges on the training set
+and applies the same affine map to test data.  CSR-friendly: with
+``lower=0`` zero entries stay zero, so sparsity is preserved whenever
+the column minimum is 0 (true for nonnegative data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+
+@dataclass
+class MinMaxScaler:
+    """Per-column affine map to a target interval."""
+
+    lower: float = 0.0
+    upper: float = 1.0
+    col_min_: Optional[np.ndarray] = None
+    col_max_: Optional[np.ndarray] = None
+
+    def fit(self, X: CSRMatrix) -> "MinMaxScaler":
+        if self.upper <= self.lower:
+            raise ValueError(
+                f"upper ({self.upper}) must exceed lower ({self.lower})"
+            )
+        d = X.shape[1]
+        # column extrema over *all* cells: zeros count unless a column is
+        # fully dense, mirroring svm-scale's treatment of sparse data
+        col_min = np.zeros(d)
+        col_max = np.zeros(d)
+        np.minimum.at(col_min, X.indices, X.data)
+        np.maximum.at(col_max, X.indices, X.data)
+        counts = np.zeros(d, dtype=np.int64)
+        np.add.at(counts, X.indices, 1)
+        dense_cols = counts == X.shape[0]
+        if dense_cols.any():
+            # fully dense columns: zero is not implicitly present
+            true_min = np.full(d, np.inf)
+            true_max = np.full(d, -np.inf)
+            np.minimum.at(true_min, X.indices, X.data)
+            np.maximum.at(true_max, X.indices, X.data)
+            col_min[dense_cols] = true_min[dense_cols]
+            col_max[dense_cols] = true_max[dense_cols]
+        self.col_min_ = col_min
+        self.col_max_ = col_max
+        return self
+
+    def transform(self, X: CSRMatrix) -> CSRMatrix:
+        if self.col_min_ is None:
+            raise RuntimeError("fit() must be called before transform()")
+        if X.shape[1] != self.col_min_.shape[0]:
+            raise ValueError(
+                f"{X.shape[1]} columns, scaler fitted on {self.col_min_.shape[0]}"
+            )
+        span = self.col_max_ - self.col_min_
+        safe = np.where(span > 0, span, 1.0)
+        scale = (self.upper - self.lower) / safe
+        shift = self.lower - self.col_min_ * scale
+        data = X.data * scale[X.indices] + shift[X.indices]
+        # constant columns map to `lower`; keep their entries
+        return CSRMatrix(data, X.indices, X.indptr, X.shape, check=False)
+
+    def fit_transform(self, X: CSRMatrix) -> CSRMatrix:
+        return self.fit(X).transform(X)

@@ -1,0 +1,82 @@
+"""Kernel function interface.
+
+A kernel evaluates Φ(x, z) between samples.  The solvers only ever need
+two shapes of evaluation, and both are vectorized:
+
+- ``row_against_block``: Φ(x, x_i) for one sample against every row of a
+  CSR block — the gradient-update hot path (Eq. 2) and the
+  reconstruction inner loop (Alg. 3, line 5);
+- ``pair``: Φ(x_i, x_j) for one pair — the ρ computation (Eq. 7).
+
+For kernels that depend on ||x||² (RBF), callers pass precomputed squared
+row norms so the hot path touches each nonzero exactly once.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix, sparse_sparse_dot
+
+#: A sample exchanged between ranks: (indices, values, ||x||^2)
+SampleRow = Tuple[np.ndarray, np.ndarray, float]
+
+
+class Kernel(abc.ABC):
+    """Base class for kernel functions Φ."""
+
+    #: short identifier used by parameter dumps / registry lookups
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norm_b: float
+    ) -> np.ndarray:
+        """Map raw inner products <x_i, z> to kernel values Φ(x_i, z).
+
+        ``norms_a`` are ||x_i||² for the block rows, ``norm_b`` is ||z||².
+        Kernels that ignore norms (linear, polynomial, sigmoid) may ignore
+        those arguments.
+        """
+
+    def row_against_block(
+        self,
+        block: CSRMatrix,
+        block_norms_sq: np.ndarray,
+        idx: np.ndarray,
+        vals: np.ndarray,
+        norm_sq: float,
+    ) -> np.ndarray:
+        """Φ(z, x_i) for every row i of ``block``; z = (idx, vals)."""
+        dots = block.dot_sparse_vec(idx, vals)
+        return self.from_dots(dots, block_norms_sq, norm_sq)
+
+    def pair(self, a: SampleRow, b: SampleRow) -> float:
+        """Φ between two sample rows."""
+        ai, av, an = a
+        bi, bv, bn = b
+        dot = sparse_sparse_dot(ai, av, bi, bv)
+        out = self.from_dots(
+            np.asarray([dot]), np.asarray([an]), bn
+        )
+        return float(out[0])
+
+    def self_value(self, norm_sq: float) -> float:
+        """Φ(x, x) given ||x||²."""
+        one = np.asarray([norm_sq])
+        return float(self.from_dots(one, np.asarray([norm_sq]), norm_sq)[0])
+
+    def diag(self, norms_sq: np.ndarray) -> np.ndarray:
+        """Φ(x_i, x_i) for a whole block, given squared row norms."""
+        return np.asarray([self.self_value(float(n)) for n in norms_sq])
+
+    def params(self) -> dict:
+        """Hyperparameters, for reports and model serialization."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params().items())
+        return f"{type(self).__name__}({args})"

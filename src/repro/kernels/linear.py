@@ -1,0 +1,26 @@
+"""Linear kernel: Φ(x, y) = <x, y>.
+
+The paper's infrastructure "allows us to plugin other kernels (such as
+linear, polynomial)" (§V-C); this is the pluggable linear variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Kernel
+
+
+class LinearKernel(Kernel):
+    name = "linear"
+
+    def from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norm_b: float
+    ) -> np.ndarray:
+        return np.asarray(dots, dtype=np.float64)
+
+    def self_value(self, norm_sq: float) -> float:
+        return float(norm_sq)
+
+    def diag(self, norms_sq: np.ndarray) -> np.ndarray:
+        return np.asarray(norms_sq, dtype=np.float64).copy()

@@ -1,0 +1,31 @@
+"""Polynomial kernel: Φ(x, y) = (γ·<x, y> + coef0)^degree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Kernel
+
+
+class PolynomialKernel(Kernel):
+    name = "poly"
+
+    def __init__(self, degree: int = 3, gamma: float = 1.0, coef0: float = 0.0):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norm_b: float
+    ) -> np.ndarray:
+        return (self.gamma * np.asarray(dots) + self.coef0) ** self.degree
+
+    def self_value(self, norm_sq: float) -> float:
+        return float((self.gamma * norm_sq + self.coef0) ** self.degree)
+
+    def params(self) -> dict:
+        return {"degree": self.degree, "gamma": self.gamma, "coef0": self.coef0}

@@ -1,0 +1,32 @@
+"""Sigmoid kernel: Φ(x, y) = tanh(γ·<x, y> + coef0).
+
+Not positive semi-definite in general; the SMO α update falls back to
+the ρ >= 0 handling (Platt's bound-objective comparison) when needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Kernel
+
+
+class SigmoidKernel(Kernel):
+    name = "sigmoid"
+
+    def __init__(self, gamma: float = 1.0, coef0: float = 0.0):
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norm_b: float
+    ) -> np.ndarray:
+        return np.tanh(self.gamma * np.asarray(dots) + self.coef0)
+
+    def self_value(self, norm_sq: float) -> float:
+        return float(np.tanh(self.gamma * norm_sq + self.coef0))
+
+    def params(self) -> dict:
+        return {"gamma": self.gamma, "coef0": self.coef0}

@@ -1,0 +1,87 @@
+"""``repro.mpi`` — an in-process MPI-like SPMD runtime with virtual time.
+
+This package stands in for MPI + mpi4py on the paper's cluster (see
+DESIGN.md §2): ranks run as threads inside one process, point-to-point
+messages rendezvous through per-rank mailboxes, and collectives are built
+from point-to-point using the textbook algorithms (binomial tree,
+recursive doubling, ring, dissemination).  Per-rank virtual clocks track
+the time the job would take on a modeled machine
+(:class:`repro.perfmodel.MachineSpec`).
+
+Quick example::
+
+    from repro.mpi import run_spmd
+
+    def hello(comm):
+        token = comm.allreduce(comm.rank)      # sum of ranks
+        return (comm.rank, token)
+
+    result = run_spmd(hello, nprocs=4)
+    assert [r[1] for r in result.results] == [6, 6, 6, 6]
+"""
+
+from .clock import ClockStats, VirtualClock
+from .communicator import IN_PLACE, Comm
+from .datatypes import ANY_SOURCE, ANY_TAG, TAG_UB
+from .errors import (
+    CommError,
+    DeadlockError,
+    MpiError,
+    RankError,
+    SpmdAborted,
+    SpmdJobError,
+    TruncationError,
+)
+from .reduceops import (
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    ReduceOp,
+)
+from .request import Request
+from .runtime import RankStats, SpmdResult, SpmdRuntime, run_spmd
+from .status import Status
+from .tracing import TraceEvent, Tracer
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BAND",
+    "BOR",
+    "ClockStats",
+    "Comm",
+    "CommError",
+    "DeadlockError",
+    "IN_PLACE",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MAXLOC",
+    "MIN",
+    "MINLOC",
+    "MpiError",
+    "PROD",
+    "RankError",
+    "RankStats",
+    "ReduceOp",
+    "Request",
+    "SpmdAborted",
+    "SpmdJobError",
+    "SpmdResult",
+    "SpmdRuntime",
+    "Status",
+    "SUM",
+    "TAG_UB",
+    "TraceEvent",
+    "Tracer",
+    "TruncationError",
+    "VirtualClock",
+    "run_spmd",
+]

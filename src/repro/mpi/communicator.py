@@ -1,0 +1,463 @@
+"""The communicator: point-to-point primitives plus collective entry points.
+
+API shape mirrors mpi4py: lower-case methods move pickled Python objects,
+upper-case methods move numpy buffers in place.  All communication is
+matched through per-rank mailboxes owned by the :class:`SpmdRuntime`;
+virtual time advances according to the runtime's :class:`MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import collectives as _coll
+from .clock import VirtualClock
+from .datatypes import ANY_SOURCE, ANY_TAG, TAG_UB, as_array, check_tag
+from .errors import CommError, RankError, TruncationError
+from .message import Envelope
+from .reduceops import SUM, ReduceOp
+from .request import RecvRequest, Request, SendRequest
+from .status import Status
+
+#: first tag reserved for internal collective traffic
+_COLL_TAG_BASE = TAG_UB + 1
+_COLL_TAG_SPAN = 2**20
+
+
+class Comm:
+    """A communicator over a subset of the job's ranks."""
+
+    def __init__(
+        self,
+        runtime: "SpmdRuntime",  # noqa: F821
+        group: Tuple[int, ...],
+        rank: int,
+        context: int,
+    ) -> None:
+        self._runtime = runtime
+        self._group = group  # local rank -> global rank
+        self._rank = rank
+        self._context = context
+        self._coll_seq = 0
+        self._split_seq = 0
+        self._clock: VirtualClock = runtime.clocks[group[rank]]
+        self._mailbox = runtime.mailboxes[group[rank]]
+        self._machine = runtime.machine
+        self._tracer = runtime.tracer
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._group)
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    @property
+    def vtime(self) -> float:
+        """This rank's current virtual time in seconds."""
+        return self._clock.now
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    @property
+    def machine(self):
+        return self._machine
+
+    def advance(self, seconds: float) -> float:
+        """Charge ``seconds`` of local compute to the virtual clock."""
+        t0 = self._clock.now
+        t1 = self._clock.advance(seconds, kind="compute")
+        self._tracer.record(self._rank, "compute", "advance", -1, 0, t0, t1)
+        return t1
+
+    def charge_kernel_evals(self, n_evals: float, avg_nnz: float) -> float:
+        """Charge the modeled time of ``n_evals`` kernel evaluations."""
+        return self.advance(self._machine.time_kernel_evals(n_evals, avg_nnz))
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _check_peer(self, peer: int, *, allow_any: bool = False) -> int:
+        if peer == ANY_SOURCE and allow_any:
+            return peer
+        if not 0 <= peer < self.size:
+            raise RankError(
+                f"rank {peer} out of range for communicator of size {self.size}"
+            )
+        return peer
+
+    def _global(self, local_rank: int) -> int:
+        return self._group[local_rank]
+
+    # ------------------------------------------------------------------
+    # point-to-point: internal
+    # ------------------------------------------------------------------
+    def _deliver(self, env: Envelope) -> None:
+        self._runtime.mailboxes[env.dest].put(env)
+
+    def _post_send_typed(self, arr: np.ndarray, dest: int, tag: int) -> None:
+        t0 = self._clock.now
+        self._clock.advance(self._machine.send_overhead, kind="comm")
+        env = Envelope.from_array(
+            self._rank, self._global(dest), tag, self._context, arr, self._clock.now
+        )
+        self._clock.record_send(env.nbytes)
+        self._deliver(env)
+        self._tracer.record(
+            self._rank, "send", "Send", dest, env.nbytes, t0, self._clock.now
+        )
+
+    def _post_send_object(self, obj: Any, dest: int, tag: int) -> None:
+        t0 = self._clock.now
+        self._clock.advance(self._machine.send_overhead, kind="comm")
+        env = Envelope.from_object(
+            self._rank, self._global(dest), tag, self._context, obj, self._clock.now
+        )
+        self._clock.record_send(env.nbytes)
+        self._deliver(env)
+        self._tracer.record(
+            self._rank, "send", "send", dest, env.nbytes, t0, self._clock.now
+        )
+
+    def _complete_recv(self, env: Envelope) -> None:
+        """Clock/statistics bookkeeping once an envelope is matched."""
+        t0 = self._clock.now
+        arrival = env.depart_time + self._machine.p2p_time(env.nbytes)
+        self._clock.sync_to(arrival, kind="comm")
+        self._clock.record_recv(env.nbytes)
+        self._tracer.record(
+            self._rank, "recv", "recv", env.src, env.nbytes, t0, self._clock.now
+        )
+
+    # ------------------------------------------------------------------
+    # point-to-point: typed (numpy buffers)
+    # ------------------------------------------------------------------
+    def Send(self, buf: Any, dest: int, tag: int = 0) -> None:
+        self._check_peer(dest)
+        check_tag(tag)
+        self._post_send_typed(as_array(buf), dest, tag)
+
+    def Recv(
+        self,
+        buf: Any,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> None:
+        self._check_peer(source, allow_any=True)
+        check_tag(tag, allow_any=True)
+        arr = as_array(buf)
+        env = self._mailbox.take(source, tag, self._context, block=True)
+        self._complete_recv(env)
+        if not env.typed:
+            raise CommError("typed Recv matched an object message")
+        data = env.payload.reshape(-1)
+        if data.size > arr.size:
+            raise TruncationError(
+                f"message of {data.size} elements truncates buffer of {arr.size}"
+            )
+        arr[: data.size] = data.astype(arr.dtype, copy=False)
+        if status is not None:
+            status.source, status.tag = env.src, env.tag
+            status.count, status.nbytes = int(data.size), env.nbytes
+
+    def Isend(self, buf: Any, dest: int, tag: int = 0) -> Request:
+        self.Send(buf, dest, tag)
+        return SendRequest()
+
+    def Irecv(self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        self._check_peer(source, allow_any=True)
+        check_tag(tag, allow_any=True)
+        return RecvRequest(self, source, tag, as_array(buf))
+
+    def Sendrecv(
+        self,
+        sendbuf: Any,
+        dest: int,
+        sendtag: int = 0,
+        recvbuf: Any = None,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> None:
+        req = self.Irecv(recvbuf, source, recvtag)
+        self.Send(sendbuf, dest, sendtag)
+        req.wait(status)
+
+    # ------------------------------------------------------------------
+    # point-to-point: pickled objects
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_peer(dest)
+        check_tag(tag)
+        self._post_send_object(obj, dest, tag)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        self._check_peer(source, allow_any=True)
+        check_tag(tag, allow_any=True)
+        env = self._mailbox.take(source, tag, self._context, block=True)
+        self._complete_recv(env)
+        if status is not None:
+            status.source, status.tag = env.src, env.tag
+            status.count = status.nbytes = env.nbytes
+        return env.payload if env.typed else env.unpickle()
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return SendRequest()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        self._check_peer(source, allow_any=True)
+        check_tag(tag, allow_any=True)
+        return RecvRequest(self, source, tag, None)
+
+    def sendrecv(
+        self, sendobj: Any, dest: int, sendtag: int = 0,
+        source: int = ANY_SOURCE, recvtag: int = ANY_TAG,
+    ) -> Any:
+        req = self.irecv(source, recvtag)
+        self.send(sendobj, dest, sendtag)
+        return req.wait()
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking probe for a matching pending message."""
+        return (
+            self._mailbox.probe(source, tag, self._context) is not None
+        )
+
+    # ------------------------------------------------------------------
+    # internal tag allocation for collectives
+    # ------------------------------------------------------------------
+    def _next_coll_tag(self) -> int:
+        tag = _COLL_TAG_BASE + (self._coll_seq % _COLL_TAG_SPAN)
+        self._coll_seq += 1
+        return tag
+
+    def _coll_send(self, obj: Any, dest: int, tag: int) -> None:
+        self._post_send_object(obj, dest, tag)
+
+    def _coll_recv(self, source: int, tag: int) -> Any:
+        env = self._mailbox.take(source, tag, self._context, block=True)
+        self._complete_recv(env)
+        return env.payload if env.typed else env.unpickle()
+
+    def _trace_collective(self, op: str, nbytes: int, t0: float) -> None:
+        self._tracer.record(
+            self._rank, "collective", op, -1, nbytes, t0, self._clock.now
+        )
+
+    # ------------------------------------------------------------------
+    # collectives (object path; typed wrappers below)
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        t0 = self._clock.now
+        _coll.barrier_dissemination(self)
+        self._trace_collective("Barrier", 0, t0)
+
+    Barrier = barrier
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        self._check_peer(root)
+        t0 = self._clock.now
+        out = _coll.bcast_binomial(self, obj, root)
+        self._trace_collective("Bcast", 0, t0)
+        return out
+
+    def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        self._check_peer(root)
+        t0 = self._clock.now
+        out = _coll.reduce_binomial(self, obj, op, root)
+        self._trace_collective("Reduce", 0, t0)
+        return out
+
+    def allreduce(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        t0 = self._clock.now
+        out = _coll.allreduce_recursive_doubling(self, obj, op)
+        self._trace_collective("Allreduce", 0, t0)
+        return out
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._check_peer(root)
+        t0 = self._clock.now
+        out = _coll.gather_flat(self, obj, root)
+        self._trace_collective("Gather", 0, t0)
+        return out
+
+    def allgather(self, obj: Any) -> List[Any]:
+        t0 = self._clock.now
+        out = _coll.allgather_ring(self, obj)
+        self._trace_collective("Allgather", 0, t0)
+        return out
+
+    def scatter(self, objs: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        self._check_peer(root)
+        t0 = self._clock.now
+        out = _coll.scatter_flat(self, objs, root)
+        self._trace_collective("Scatter", 0, t0)
+        return out
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        t0 = self._clock.now
+        out = _coll.alltoall_pairwise(self, objs)
+        self._trace_collective("Alltoall", 0, t0)
+        return out
+
+    def scan(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix reduction (MPI_Scan)."""
+        t0 = self._clock.now
+        out = _coll.scan_linear(self, obj, op)
+        self._trace_collective("Scan", 0, t0)
+        return out
+
+    def exscan(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction (MPI_Exscan; None on rank 0)."""
+        t0 = self._clock.now
+        out = _coll.exscan_linear(self, obj, op)
+        self._trace_collective("Exscan", 0, t0)
+        return out
+
+    def reduce_scatter(self, objs: Sequence[Any], op: ReduceOp = SUM) -> Any:
+        """Reduce slot i across ranks; rank i receives result i
+        (MPI_Reduce_scatter_block with one item per rank)."""
+        t0 = self._clock.now
+        out = _coll.reduce_scatter_block(self, objs, op)
+        self._trace_collective("Reduce_scatter", 0, t0)
+        return out
+
+    # ------------------------------------------------------------------
+    # collectives: typed wrappers (in-place numpy buffers)
+    # ------------------------------------------------------------------
+    def Bcast(self, buf: Any, root: int = 0) -> None:
+        arr = as_array(buf)
+        if self._rank == root:
+            self.bcast(arr.copy(), root=root)
+        else:
+            data = self.bcast(None, root=root)
+            if data.size != arr.size:
+                raise TruncationError(
+                    f"Bcast of {data.size} elements into buffer of {arr.size}"
+                )
+            arr[:] = data.astype(arr.dtype, copy=False)
+
+    def Allreduce(self, sendbuf: Any, recvbuf: Any, op: ReduceOp = SUM) -> None:
+        if sendbuf is IN_PLACE:
+            out = as_array(recvbuf)
+            result = _coll.allreduce_recursive_doubling(
+                self, out.copy(), op, arrays=True
+            )
+        else:
+            src = as_array(sendbuf)
+            out = as_array(recvbuf)
+            if src.size != out.size:
+                raise CommError("Allreduce send/recv buffer size mismatch")
+            result = _coll.allreduce_recursive_doubling(
+                self, src.copy(), op, arrays=True
+            )
+        out[:] = result.astype(out.dtype, copy=False)
+
+    def Reduce(
+        self, sendbuf: Any, recvbuf: Any, op: ReduceOp = SUM, root: int = 0
+    ) -> None:
+        src = as_array(sendbuf).copy()
+        result = _coll.reduce_binomial(self, src, op, root, arrays=True)
+        if self._rank == root:
+            out = as_array(recvbuf)
+            out[:] = result.astype(out.dtype, copy=False)
+
+    def Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        src = as_array(sendbuf).copy()
+        parts = _coll.gather_flat(self, src, root)
+        if self._rank == root:
+            out = as_array(recvbuf)
+            flat = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
+            if flat.size != out.size:
+                raise TruncationError("Gather buffer size mismatch")
+            out[:] = flat.astype(out.dtype, copy=False)
+
+    def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
+        src = as_array(sendbuf).copy()
+        parts = _coll.allgather_ring(self, src)
+        out = as_array(recvbuf)
+        flat = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
+        if flat.size != out.size:
+            raise TruncationError("Allgather buffer size mismatch")
+        out[:] = flat.astype(out.dtype, copy=False)
+
+    def Allgatherv(self, sendbuf: Any, recvbuf: Any) -> None:
+        # identical to Allgather with per-rank counts inferred from payloads
+        self.Allgather(sendbuf, recvbuf)
+
+    def Scatter(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        out = as_array(recvbuf)
+        if self._rank == root:
+            src = as_array(sendbuf)
+            if src.size != out.size * self.size:
+                raise CommError("Scatter buffer size mismatch")
+            chunks = [
+                src[i * out.size : (i + 1) * out.size].copy()
+                for i in range(self.size)
+            ]
+        else:
+            chunks = None
+        part = _coll.scatter_flat(self, chunks, root)
+        out[:] = np.asarray(part).reshape(-1).astype(out.dtype, copy=False)
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def Split(self, color: int, key: int = 0) -> Optional["Comm"]:
+        """Partition the communicator by ``color``, order by ``(key, rank)``."""
+        triples = self.allgather((color, key, self._rank))
+        self._split_seq += 1
+        if color is None or color < 0:
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in triples if c == color
+        )
+        group = tuple(self._global(r) for (_, r) in members)
+        new_rank = [r for (_, r) in members].index(self._rank)
+        ctx = self._runtime.allocate_context(
+            (self._context, self._split_seq, color)
+        )
+        return Comm(self._runtime, group, new_rank, ctx)
+
+    def Dup(self) -> "Comm":
+        self._split_seq += 1
+        ctx = self._runtime.allocate_context(
+            (self._context, self._split_seq, "dup")
+        )
+        # Dup is collective: synchronize so all ranks agree on the sequence.
+        self.barrier()
+        return Comm(self._runtime, self._group, self._rank, ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Comm(rank={self._rank}, size={self.size}, ctx={self._context})"
+
+
+class _InPlace:
+    """Sentinel mirroring ``MPI.IN_PLACE``."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "IN_PLACE"
+
+
+IN_PLACE = _InPlace()

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the simulated MPI runtime.
+
+The runtime mirrors MPI error semantics: errors raised inside one rank
+abort the whole SPMD job (``MPI_Abort``-like behaviour); ranks blocked in
+communication calls are woken with :class:`SpmdAborted`.
+"""
+
+from __future__ import annotations
+
+
+class MpiError(Exception):
+    """Base class for all errors raised by :mod:`repro.mpi`."""
+
+
+class CommError(MpiError):
+    """Malformed communication call (bad rank, tag, buffer, or count)."""
+
+
+class TruncationError(CommError):
+    """A received message is larger than the posted receive buffer.
+
+    Mirrors ``MPI_ERR_TRUNCATE``: MPI does not silently drop bytes.
+    """
+
+
+class RankError(CommError):
+    """Peer rank out of range for the communicator."""
+
+
+class TagError(CommError):
+    """Tag outside the valid range ``[0, TAG_UB]`` (wildcards excepted)."""
+
+
+class DeadlockError(MpiError):
+    """The runtime watchdog detected no progress while ranks are blocked."""
+
+
+class SpmdAborted(MpiError):
+    """Raised inside ranks that were cancelled because a peer rank failed."""
+
+
+class SpmdJobError(MpiError):
+    """Raised by :func:`repro.mpi.run_spmd` when one or more ranks failed.
+
+    Attributes
+    ----------
+    failures:
+        Mapping ``rank -> exception`` of the original per-rank errors.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = self.failures[min(self.failures)]
+        super().__init__(
+            f"SPMD job failed in rank(s) {ranks}: "
+            f"{type(first).__name__}: {first}"
+        )

@@ -1,0 +1,90 @@
+"""Per-rank mailboxes: the synchronization core of the simulated runtime.
+
+Each rank owns one :class:`Mailbox`.  Senders deposit envelopes; receivers
+block until a matching envelope is available.  Matching follows MPI
+non-overtaking order: among envelopes from the same (source, tag, context),
+the earliest deposited one is matched first.
+
+Mailbox waits poll an abort event so that when any rank raises, peers
+blocked in communication are promptly woken with :class:`SpmdAborted`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from .errors import SpmdAborted
+from .message import Envelope
+
+#: How often blocked receivers re-check the job abort flag (host seconds).
+_POLL_INTERVAL = 0.05
+
+
+class Mailbox:
+    """Thread-safe matched queue of in-flight messages for one rank."""
+
+    def __init__(self, rank: int, abort_event: threading.Event):
+        self.rank = rank
+        self._abort = abort_event
+        self._cond = threading.Condition()
+        self._queue: Deque[Envelope] = deque()
+        #: total envelopes ever delivered; the watchdog uses this to
+        #: distinguish deadlock from slow progress.
+        self.delivered = 0
+
+    def put(self, env: Envelope) -> None:
+        with self._cond:
+            self._queue.append(env)
+            self.delivered += 1
+            self._cond.notify_all()
+
+    def _find(self, src: Optional[int], tag: Optional[int], context: int):
+        for i, env in enumerate(self._queue):
+            if env.matches(src, tag, context):
+                return i
+        return None
+
+    def probe(self, src: Optional[int], tag: Optional[int], context: int):
+        """Non-blocking match test; returns the envelope without removing."""
+        with self._cond:
+            i = self._find(src, tag, context)
+            return None if i is None else self._queue[i]
+
+    def take(
+        self,
+        src: Optional[int],
+        tag: Optional[int],
+        context: int,
+        *,
+        block: bool = True,
+    ) -> Optional[Envelope]:
+        """Remove and return the first matching envelope.
+
+        Blocks until one arrives when ``block`` is true.  Raises
+        :class:`SpmdAborted` if the job was cancelled while waiting.
+        """
+        with self._cond:
+            while True:
+                if self._abort.is_set():
+                    raise SpmdAborted(
+                        f"rank {self.rank}: job aborted while waiting for a message"
+                    )
+                i = self._find(src, tag, context)
+                if i is not None:
+                    env = self._queue[i]
+                    del self._queue[i]
+                    return env
+                if not block:
+                    return None
+                self._cond.wait(timeout=_POLL_INTERVAL)
+
+    def wake(self) -> None:
+        """Wake any blocked waiters (used on abort)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def __len__(self) -> int:  # pragma: no cover - debugging aid
+        with self._cond:
+            return len(self._queue)

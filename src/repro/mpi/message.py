@@ -1,0 +1,92 @@
+"""In-flight message representation.
+
+A message carries either a contiguous numpy payload (typed path — the
+payload is a private copy taken at send time, matching MPI's buffered
+eager protocol) or a pickled Python object.  Messages are stamped with
+the sender's virtual departure time; the receiver uses it to compute
+the modeled arrival time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+_seq = itertools.count()
+
+
+@dataclass
+class Envelope:
+    """One message travelling between two ranks of a communicator."""
+
+    src: int
+    dest: int
+    tag: int
+    context: int  # communicator context id: isolates comms from each other
+    payload: Any  # np.ndarray copy (typed) or bytes (pickled object)
+    typed: bool
+    nbytes: int
+    depart_time: float
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    @classmethod
+    def from_array(
+        cls,
+        src: int,
+        dest: int,
+        tag: int,
+        context: int,
+        arr: np.ndarray,
+        depart_time: float,
+    ) -> "Envelope":
+        copy = np.array(arr, copy=True)  # snapshot: sender may reuse buffer
+        return cls(
+            src=src,
+            dest=dest,
+            tag=tag,
+            context=context,
+            payload=copy,
+            typed=True,
+            nbytes=int(copy.size) * int(copy.dtype.itemsize),
+            depart_time=depart_time,
+        )
+
+    @classmethod
+    def from_object(
+        cls,
+        src: int,
+        dest: int,
+        tag: int,
+        context: int,
+        obj: Any,
+        depart_time: float,
+    ) -> "Envelope":
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        return cls(
+            src=src,
+            dest=dest,
+            tag=tag,
+            context=context,
+            payload=blob,
+            typed=False,
+            nbytes=len(blob),
+            depart_time=depart_time,
+        )
+
+    def unpickle(self) -> Any:
+        assert not self.typed
+        return pickle.loads(self.payload)
+
+    def matches(self, src: Optional[int], tag: Optional[int], context: int) -> bool:
+        """MPI matching rule with wildcard support (-1 = any)."""
+        if self.context != context:
+            return False
+        if src is not None and src >= 0 and self.src != src:
+            return False
+        if tag is not None and tag >= 0 and self.tag != tag:
+            return False
+        return True

@@ -1,0 +1,81 @@
+"""Reduction operators for reduce/allreduce.
+
+Operators work element-wise on numpy arrays (typed path) and on Python
+scalars / tuples (object path).  ``MINLOC``/``MAXLOC`` reduce ``(value,
+location)`` pairs, which the SVM solver uses to find the global worst
+KKT violators together with their owning sample index in one allreduce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+
+class ReduceOp:
+    """A named, associative, commutative binary reduction operator."""
+
+    def __init__(self, name: str, array_fn: Callable, object_fn: Callable):
+        self.name = name
+        self._array_fn = array_fn
+        self._object_fn = object_fn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp({self.name})"
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Combine two partial results (object path)."""
+        return self._object_fn(a, b)
+
+    def combine_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise combine for the typed path. Returns a new array."""
+        return self._array_fn(a, b)
+
+
+def _pair_minloc(a, b):
+    (av, ai), (bv, bi) = a, b
+    if bv < av or (bv == av and bi < ai):
+        return (bv, bi)
+    return (av, ai)
+
+
+def _pair_maxloc(a, b):
+    (av, ai), (bv, bi) = a, b
+    if bv > av or (bv == av and bi < ai):
+        return (bv, bi)
+    return (av, ai)
+
+
+def _arr_minloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # value/location pairs packed as [..., 2] or flat [v0, i0, v1, i1, ...]
+    a2 = a.reshape(-1, 2)
+    b2 = b.reshape(-1, 2)
+    take_b = (b2[:, 0] < a2[:, 0]) | ((b2[:, 0] == a2[:, 0]) & (b2[:, 1] < a2[:, 1]))
+    out = np.where(take_b[:, None], b2, a2)
+    return out.reshape(a.shape)
+
+
+def _arr_maxloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a2 = a.reshape(-1, 2)
+    b2 = b.reshape(-1, 2)
+    take_b = (b2[:, 0] > a2[:, 0]) | ((b2[:, 0] == a2[:, 0]) & (b2[:, 1] < a2[:, 1]))
+    out = np.where(take_b[:, None], b2, a2)
+    return out.reshape(a.shape)
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b, lambda a, b: a + b)
+PROD = ReduceOp("PROD", lambda a, b: a * b, lambda a, b: a * b)
+MAX = ReduceOp("MAX", np.maximum, max)
+MIN = ReduceOp("MIN", np.minimum, min)
+LAND = ReduceOp("LAND", np.logical_and, lambda a, b: bool(a) and bool(b))
+LOR = ReduceOp("LOR", np.logical_or, lambda a, b: bool(a) or bool(b))
+BAND = ReduceOp("BAND", np.bitwise_and, lambda a, b: a & b)
+BOR = ReduceOp("BOR", np.bitwise_or, lambda a, b: a | b)
+MINLOC = ReduceOp("MINLOC", _arr_minloc, _pair_minloc)
+MAXLOC = ReduceOp("MAXLOC", _arr_maxloc, _pair_maxloc)
+
+ALL_OPS = {
+    op.name: op
+    for op in (SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR, MINLOC, MAXLOC)
+}

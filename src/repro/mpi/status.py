@@ -1,0 +1,24 @@
+"""Receive status objects, mirroring ``MPI_Status``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Status:
+    """Outcome of a completed receive."""
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0  # elements for typed receives, bytes for object receives
+    nbytes: int = 0
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self) -> int:
+        return self.count

@@ -1,0 +1,86 @@
+"""Optional communication/computation event tracing.
+
+When enabled on the runtime, every point-to-point completion, collective
+and compute charge appends one :class:`TraceEvent`.  Traces feed the
+performance analysis in :mod:`repro.perfmodel` and are handy in tests to
+assert that an algorithm used the expected communication structure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event on one rank."""
+
+    rank: int
+    kind: str  # "send" | "recv" | "collective" | "compute"
+    op: str  # e.g. "Send", "Allreduce", "kernel_eval"
+    peer: int  # peer rank for p2p, -1 otherwise
+    nbytes: int
+    t_start: float  # virtual seconds
+    t_end: float
+
+
+class Tracer:
+    """Thread-safe append-only event log shared by all ranks of a job."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self,
+        rank: int,
+        kind: str,
+        op: str,
+        peer: int,
+        nbytes: int,
+        t_start: float,
+        t_end: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        ev = TraceEvent(rank, kind, op, peer, nbytes, t_start, t_end)
+        with self._lock:
+            self._events.append(ev)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def events_for(self, rank: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def count(self, op: Optional[str] = None, kind: Optional[str] = None) -> int:
+        return sum(
+            1
+            for e in self.events
+            if (op is None or e.op == op) and (kind is None or e.kind == kind)
+        )
+
+    def total_bytes(self, kind: str = "send") -> int:
+        return sum(e.nbytes for e in self.events if e.kind == kind)
+
+    def summary(self) -> str:
+        """Per-operation aggregate table: count, bytes, virtual seconds."""
+        agg: dict = {}
+        for e in self.events:
+            key = (e.kind, e.op)
+            cnt, nbytes, secs = agg.get(key, (0, 0, 0.0))
+            agg[key] = (cnt + 1, nbytes + e.nbytes, secs + (e.t_end - e.t_start))
+        lines = [
+            f"{'kind':>12} {'op':>12} {'count':>8} {'MB':>10} {'vtime(s)':>11}"
+        ]
+        for (kind, op), (cnt, nbytes, secs) in sorted(agg.items()):
+            lines.append(
+                f"{kind:>12} {op:>12} {cnt:>8} {nbytes / 1e6:>10.3f} "
+                f"{secs:>11.6f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""``repro.perfmodel`` — analytic performance model of the paper's testbed.
+
+Provides the machine description used for virtual-time accounting in
+:mod:`repro.mpi`, collective cost formulas, the libsvm baseline time
+model, and the trace-driven projector that evaluates solver time at
+arbitrary process counts (up to the paper's 4096).
+"""
+
+from . import costs
+from .baseline import BaselineTime, baseline_time, paper_scale_baseline
+from .calibration import (
+    LambdaMeasurement,
+    ProjectorValidation,
+    measure_lambda,
+    validate_projector,
+    validation_report,
+)
+from .machine import MachineSpec
+from .projector import (
+    ProjectedTime,
+    parallel_efficiency,
+    project,
+    project_series,
+    speedup_vs,
+)
+
+__all__ = [
+    "BaselineTime",
+    "LambdaMeasurement",
+    "ProjectorValidation",
+    "MachineSpec",
+    "ProjectedTime",
+    "baseline_time",
+    "costs",
+    "measure_lambda",
+    "paper_scale_baseline",
+    "parallel_efficiency",
+    "project",
+    "project_series",
+    "speedup_vs",
+    "validate_projector",
+    "validation_report",
+]

@@ -1,0 +1,110 @@
+"""Time model for the libsvm baseline (§V-A).
+
+The paper compares against libsvm 3.18 enhanced with OpenMP on one
+16-core Sandy Bridge node.  Given the operation counters from a
+:class:`repro.core.libsvm_smo.LibsvmResult`, this model evaluates the
+baseline's time on the target machine:
+
+- kernel-row evaluation (cache misses) is the OpenMP-parallel part —
+  it divides by the core count;
+- per-iteration selection and gradient AXPY work is serial (libsvm's
+  main loop), a few flops per sample per iteration.
+
+``ncores=1`` gives "libsvm-sequential" (the Table IV reference),
+``ncores=16`` gives "libsvm-enhanced" (the Figures 3-7 reference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .machine import MachineSpec
+
+if TYPE_CHECKING:  # avoid a core <-> perfmodel import cycle at runtime
+    from ..core.libsvm_smo import LibsvmResult
+
+#: serial flops per sample per iteration (selection scan + axpy + sets)
+_SERIAL_FLOPS_PER_SAMPLE = 12.0
+
+
+@dataclass(frozen=True)
+class BaselineTime:
+    """Modeled baseline execution time, decomposed."""
+
+    total: float
+    kernel_time: float  # after dividing by ncores
+    serial_time: float
+    ncores: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.total:.4f}s (kernel {self.kernel_time:.4f}s on "
+            f"{self.ncores} cores + serial {self.serial_time:.4f}s)"
+        )
+
+
+def paper_scale_baseline(
+    iterations: float,
+    n_samples: int,
+    avg_nnz: float,
+    machine: MachineSpec,
+    *,
+    ncores: int = 16,
+    cache_bytes: float | None = None,
+    rows_per_iteration: float = 2.0,
+) -> BaselineTime:
+    """Baseline time at an arbitrary (paper-sized) problem scale.
+
+    Models libsvm's kernel work from first principles instead of from a
+    measured run: each iteration touches ``rows_per_iteration`` kernel
+    rows of length N; the LRU cache (default: the node's entire memory,
+    as granted in §V-A) holds ``cache_bytes / 8N`` rows, giving a
+    random-access hit-rate estimate ``min(1, capacity_rows / N)``.
+    This is what makes the baseline collapse on HIGGS/URL-sized
+    problems — the cache that covers 60K-sample MNIST entirely holds a
+    fraction of a percent of a 2.6M-sample dataset.
+    """
+    if ncores < 1:
+        raise ValueError(f"ncores must be >= 1, got {ncores}")
+    if cache_bytes is None:
+        cache_bytes = float(machine.mem_per_node)
+    capacity_rows = cache_bytes / (8.0 * max(n_samples, 1))
+    hit_rate = min(1.0, capacity_rows / max(n_samples, 1))
+    requests = rows_per_iteration * iterations * n_samples
+    # cold-miss floor: every distinct working-set row is computed at
+    # least once even when the cache covers the whole matrix
+    cold = min(rows_per_iteration * iterations, float(n_samples)) * n_samples
+    evals = max(requests * (1.0 - hit_rate), cold)
+    kernel_time = machine.time_kernel_evals(evals, avg_nnz) / ncores
+    # cache hits still cost an O(N) axpy pass; fold into the serial term
+    serial_flops = _SERIAL_FLOPS_PER_SAMPLE * n_samples * iterations
+    serial_time = machine.time_flops(serial_flops)
+    return BaselineTime(
+        total=kernel_time + serial_time,
+        kernel_time=kernel_time,
+        serial_time=serial_time,
+        ncores=ncores,
+    )
+
+
+def baseline_time(
+    result: "LibsvmResult",
+    n_samples: int,
+    avg_nnz: float,
+    machine: MachineSpec,
+    *,
+    ncores: int = 16,
+) -> BaselineTime:
+    """Modeled time of the libsvm-style run on ``ncores`` of the machine."""
+    if ncores < 1:
+        raise ValueError(f"ncores must be >= 1, got {ncores}")
+    kernel_time = machine.time_kernel_evals(result.kernel_evals, avg_nnz) / ncores
+    serial_flops = _SERIAL_FLOPS_PER_SAMPLE * n_samples * result.iterations
+    serial_time = machine.time_flops(serial_flops)
+    return BaselineTime(
+        total=kernel_time + serial_time,
+        kernel_time=kernel_time,
+        serial_time=serial_time,
+        ncores=ncores,
+    )

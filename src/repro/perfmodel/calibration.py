@@ -1,0 +1,154 @@
+"""Model calibration and cross-validation of the performance model.
+
+Two fidelity questions deserve evidence rather than assertion:
+
+1. **λ calibration** — what does one kernel evaluation actually cost on
+   this host?  :func:`measure_lambda` times the real numpy hot path
+   (CSR row vs block under the RBF kernel) and returns an effective
+   flop rate usable in a :class:`MachineSpec`.
+2. **Projector vs. emergent virtual time** — the analytic projector and
+   the threaded runtime account the same costs through entirely
+   different code paths (closed formulas vs. per-message clock
+   updates).  :func:`validate_projector` runs one problem through both
+   at several process counts and reports the relative error per p.
+
+The validation report is what DESIGN.md §2 leans on when it claims the
+trace-driven projection is faithful to the simulated machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .machine import MachineSpec
+from .projector import project
+
+
+@dataclass(frozen=True)
+class LambdaMeasurement:
+    """Measured kernel-evaluation throughput on this host."""
+
+    evals_per_second: float
+    avg_nnz: float
+    effective_flop_rate: float  # back-solved from the MachineSpec formula
+
+    def as_machine(self, base: Optional[MachineSpec] = None) -> MachineSpec:
+        """A MachineSpec whose compute rate matches this host."""
+        from dataclasses import replace
+
+        base = base or MachineSpec.cascade()
+        return replace(
+            base, name="calibrated-host", flop_rate=self.effective_flop_rate
+        )
+
+
+def measure_lambda(
+    n_rows: int = 2000,
+    avg_nnz: float = 60.0,
+    repeats: int = 5,
+    seed: int = 0,
+) -> LambdaMeasurement:
+    """Time the solver's hot operation (one kernel column) on this host."""
+    from ..kernels import RBFKernel
+    from ..sparse.csr import CSRMatrix
+
+    rng = np.random.default_rng(seed)
+    d = max(8, int(avg_nnz * 4))
+    density = avg_nnz / d
+    dense = rng.random((n_rows, d)) * (rng.random((n_rows, d)) < density)
+    X = CSRMatrix.from_dense(dense)
+    norms = X.row_norms_sq()
+    kernel = RBFKernel(0.5)
+    xi, xv = X.row(0)
+    n0 = float(norms[0])
+
+    kernel.row_against_block(X, norms, xi, xv, n0)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        kernel.row_against_block(X, norms, xi, xv, n0)
+        best = min(best, time.perf_counter() - t0)
+    per_eval = best / n_rows
+    real_nnz = X.avg_row_nnz
+    spec = MachineSpec.cascade()
+    flops_per_eval = spec.kernel_eval_flops(real_nnz)
+    return LambdaMeasurement(
+        evals_per_second=1.0 / per_eval,
+        avg_nnz=real_nnz,
+        effective_flop_rate=flops_per_eval / per_eval,
+    )
+
+
+@dataclass(frozen=True)
+class ProjectorValidation:
+    """Projected vs. simulated virtual time at one process count."""
+
+    p: int
+    simulated_vtime: float
+    projected_total: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.simulated_vtime == 0:
+            return 0.0
+        return abs(self.projected_total - self.simulated_vtime) / self.simulated_vtime
+
+
+def validate_projector(
+    n: int = 200,
+    ps: Sequence[int] = (1, 2, 4, 8),
+    machine: Optional[MachineSpec] = None,
+    seed: int = 0,
+    heuristic: str = "original",
+) -> List[ProjectorValidation]:
+    """Run one problem through the threaded runtime at each ``p`` and
+    compare the emergent virtual makespan with the analytic projection
+    of the p=1 trace."""
+    from ..core import SVMParams, fit_parallel
+    from ..kernels import RBFKernel
+    from ..sparse.csr import CSRMatrix
+
+    machine = machine or MachineSpec.cascade()
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    dense = np.vstack(
+        [rng.normal(1.0, 1.1, (half, 6)), rng.normal(-1.0, 1.1, (n - half, 6))]
+    )
+    y = np.concatenate([np.ones(half), -np.ones(n - half)])
+    X = CSRMatrix.from_dense(dense)
+    params = SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-3)
+
+    base = fit_parallel(X, y, params, heuristic=heuristic, nprocs=1,
+                        machine=machine)
+    out = []
+    for p in ps:
+        fr = (
+            base
+            if p == 1
+            else fit_parallel(X, y, params, heuristic=heuristic, nprocs=p,
+                              machine=machine)
+        )
+        proj = project(base.trace, machine, p)
+        out.append(
+            ProjectorValidation(
+                p=p, simulated_vtime=fr.vtime, projected_total=proj.total
+            )
+        )
+    return out
+
+
+def validation_report(rows: List[ProjectorValidation]) -> str:
+    lines = [
+        "projector vs threaded-runtime virtual time",
+        f"{'p':>5} {'simulated(s)':>14} {'projected(s)':>14} {'rel.err':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.p:>5} {r.simulated_vtime:>14.6f} "
+            f"{r.projected_total:>14.6f} {r.relative_error:>9.2%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Analytic costs of the communication patterns the solvers use.
+
+These mirror the algorithms in :mod:`repro.mpi.collectives` (binomial
+bcast, recursive-doubling allreduce, ring exchange, dissemination
+barrier), and therefore the complexity terms the paper derives in
+§III-IV: O((l + m·G)·log p) for the working-set broadcast,
+Θ(l·log p) for the scalar allreduces, Θ(|X − Ȧ|·G) for the
+reconstruction ring.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .machine import MachineSpec
+
+
+def log2ceil(p: int) -> int:
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return max(0, math.ceil(math.log2(p)))
+
+
+def p2p_time(m: MachineSpec, nbytes: float) -> float:
+    return m.latency + nbytes * m.byte_time
+
+
+def bcast_time(m: MachineSpec, nbytes: float, p: int) -> float:
+    """Binomial tree: log2(p) hops on the critical path."""
+    return log2ceil(p) * p2p_time(m, nbytes)
+
+
+def reduce_time(m: MachineSpec, nbytes: float, p: int) -> float:
+    return log2ceil(p) * p2p_time(m, nbytes)
+
+
+def allreduce_time(m: MachineSpec, nbytes: float, p: int) -> float:
+    """Recursive doubling: log2(p) exchange rounds (plus the fold round
+    for non-powers of two, folded into the ceil)."""
+    return log2ceil(p) * p2p_time(m, nbytes)
+
+
+def barrier_time(m: MachineSpec, p: int) -> float:
+    return log2ceil(p) * m.latency
+
+
+def ring_exchange_time(m: MachineSpec, chunk_bytes: float, p: int) -> float:
+    """p−1 steps each moving one chunk between neighbours."""
+    return max(0, p - 1) * p2p_time(m, chunk_bytes)
+
+
+def allgather_ring_time(m: MachineSpec, chunk_bytes: float, p: int) -> float:
+    return ring_exchange_time(m, chunk_bytes, p)
+
+
+def sample_bytes(avg_nnz: float) -> float:
+    """Wire size of one CSR sample row: int64 index + float64 value per
+    nonzero, plus norm/label/alpha scalars and framing."""
+    return 16.0 * avg_nnz + 48.0

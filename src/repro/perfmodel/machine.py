@@ -1,0 +1,111 @@
+"""Machine descriptions for virtual-time accounting.
+
+:class:`MachineSpec` captures the handful of parameters the paper's own
+complexity model uses (Table I): network latency ``l``, per-byte transfer
+time ``G``, the average kernel-evaluation time ``lambda`` (derived from an
+effective flop rate), and node topology (cores/node, memory/node).
+
+The default :meth:`MachineSpec.cascade` mirrors the paper's testbed — the
+PNNL Cascade supercomputer (Intel Sandy Bridge nodes, 16 cores/node,
+InfiniBand FDR) — so analytic projections are run against the same machine
+the paper measured.  :meth:`MachineSpec.python_host` instead calibrates the
+compute rate to this Python/numpy host, for comparing model output with
+measured wall time of the simulated runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of the modeled machine."""
+
+    name: str
+    latency: float  # l: one-way small-message latency (s)
+    byte_time: float  # G: seconds per byte (1 / effective bandwidth)
+    send_overhead: float  # o: CPU time to post a send (s)
+    flop_rate: float  # effective double-precision flops/s of one core
+    cores_per_node: int
+    mem_per_node: int  # bytes
+    #: fixed per-kernel-evaluation overhead in flops (index arithmetic,
+    #: exp() for the RBF kernel, loop control)
+    kernel_eval_overhead_flops: float = 40.0
+    #: flops per nonzero touched in one sparse kernel evaluation
+    kernel_flops_per_nnz: float = 4.0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def cascade(cls) -> "MachineSpec":
+        """PNNL Cascade-like node: Sandy Bridge + InfiniBand FDR.
+
+        FDR 4x delivers ~6.8 GB/s effective; small-message latency
+        ~1.5 us through MVAPICH2.  An effective (not peak) per-core rate
+        of 4 GFLOP/s reflects the memory-bound sparse kernel evaluations.
+        """
+        return cls(
+            name="cascade",
+            latency=1.5e-6,
+            byte_time=1.0 / 6.8e9,
+            send_overhead=0.3e-6,
+            flop_rate=4.0e9,
+            cores_per_node=16,
+            mem_per_node=64 * 2**30,
+        )
+
+    @classmethod
+    def python_host(cls, calibrate: bool = False) -> "MachineSpec":
+        """A spec whose compute rate matches this Python host.
+
+        With ``calibrate=True`` a short numpy dot-product benchmark sets
+        the effective flop rate; otherwise a conservative default is used.
+        Network parameters keep the Cascade values (the simulated network
+        is modeled either way).
+        """
+        rate = 2.0e8
+        if calibrate:
+            rate = _measure_flop_rate()
+        base = cls.cascade()
+        return replace(base, name="python-host", flop_rate=rate)
+
+    # ------------------------------------------------------------------
+    # derived costs
+    # ------------------------------------------------------------------
+    def p2p_time(self, nbytes: int) -> float:
+        """Modeled time for one point-to-point message of ``nbytes``."""
+        return self.latency + nbytes * self.byte_time
+
+    def time_flops(self, flops: float) -> float:
+        return flops / self.flop_rate
+
+    def kernel_eval_flops(self, avg_nnz: float) -> float:
+        """Flops for one kernel evaluation against a row of ``avg_nnz``."""
+        return self.kernel_flops_per_nnz * avg_nnz + self.kernel_eval_overhead_flops
+
+    def time_kernel_evals(self, n_evals: float, avg_nnz: float) -> float:
+        """lambda * n_evals: modeled time for ``n_evals`` kernel evaluations."""
+        return self.time_flops(n_evals * self.kernel_eval_flops(avg_nnz))
+
+    @property
+    def kernel_eval_time(self) -> float:
+        """lambda for an 'average' 100-nnz sample (Table I's bare lambda)."""
+        return self.time_kernel_evals(1, 100.0)
+
+
+def _measure_flop_rate(n: int = 400_000, repeats: int = 5) -> float:
+    """Measure effective flops/s of a numpy dot product on this host."""
+    rng = np.random.default_rng(0)
+    a = rng.random(n)
+    b = rng.random(n)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        float(a @ b)
+        best = min(best, time.perf_counter() - t0)
+    return (2.0 * n) / max(best, 1e-9)

@@ -1,0 +1,174 @@
+"""Trace-driven performance projection.
+
+The distributed solver's iteration sequence is independent of the
+process count (deterministic tie-breaking — see
+:mod:`repro.core.parallel`), so one instrumented run yields a
+:class:`~repro.core.trace.SolveTrace` from which the execution time at
+*any* p follows analytically.  This is how the scaling figures reach the
+paper's 4096 processes without 4096 host threads.
+
+Per-iteration model (matching §III-B/§IV and the runtime's own virtual
+time):
+
+- working-set routing: two point-to-point sends to rank 0 plus a
+  binomial broadcast of both samples — O((l + m·G)·log p);
+- three pair kernel evaluations plus the γ update over the rank's share
+  of the active set — (3 + 2·ceil(A_t/p))·λ;
+- selection scan — O(A_t/p) flops;
+- two scalar allreduces — Θ(l·log p).
+
+Reconstruction events add ceil(S/p)·V kernel evaluations (S shrunk
+samples, V contributing α>0 samples) and the Θ(bytes·G) ring.
+
+The projector can also re-scale a trace to the paper-size problem
+(``n_scale``/``iteration_scale``) for paper-scale estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+import numpy as np
+
+from . import costs
+from .machine import MachineSpec
+
+if TYPE_CHECKING:  # avoid a core <-> perfmodel import cycle at runtime
+    from ..core.trace import SolveTrace
+
+#: flops per active sample per iteration for selection/bookkeeping
+_SELECT_FLOPS = 8.0
+
+
+@dataclass(frozen=True)
+class ProjectedTime:
+    """Modeled solve time at one process count."""
+
+    p: int
+    total: float
+    iter_compute: float
+    iter_comm: float
+    recon_compute: float
+    recon_comm: float
+
+    @property
+    def recon_total(self) -> float:
+        return self.recon_compute + self.recon_comm
+
+    @property
+    def recon_fraction(self) -> float:
+        """Fig. 8's metric: share of total time spent reconstructing."""
+        return self.recon_total / self.total if self.total > 0 else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        comm = self.iter_comm + self.recon_comm
+        return comm / self.total if self.total > 0 else 0.0
+
+
+def project(
+    trace: "SolveTrace",
+    machine: MachineSpec,
+    p: int,
+    *,
+    n_scale: float = 1.0,
+    iteration_scale: float = 1.0,
+) -> ProjectedTime:
+    """Evaluate the time model at ``p`` processes.
+
+    ``n_scale`` multiplies the per-iteration active-set sizes (projecting
+    the same trajectory onto a proportionally larger dataset);
+    ``iteration_scale`` stretches the iteration axis (the trajectory is
+    resampled, preserving its shape).
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if n_scale <= 0 or iteration_scale <= 0:
+        raise ValueError("scales must be positive")
+
+    active = trace.active_counts.astype(np.float64) * n_scale
+    iters = trace.iterations
+    if iteration_scale != 1.0 and iters > 1:
+        new_iters = max(1, int(round(iters * iteration_scale)))
+        xs = np.linspace(0.0, 1.0, new_iters)
+        xp = np.linspace(0.0, 1.0, iters)
+        active = np.interp(xs, xp, active)
+        iters = new_iters
+
+    m = machine
+    avg_nnz = max(trace.avg_nnz, 1.0)
+    lam = m.time_kernel_evals(1.0, avg_nnz)
+    sbytes = costs.sample_bytes(avg_nnz)
+
+    # --- iterative part ------------------------------------------------
+    per_rank_active = np.ceil(active / p)
+    gamma_update = (2.0 * per_rank_active + 3.0) * lam
+    select = m.time_flops(_SELECT_FLOPS * per_rank_active)
+    iter_compute = float(np.sum(gamma_update + select))
+
+    # owners -> rank 0 routing: with probability 1/p the owner *is*
+    # rank 0 and no message is sent (exactly zero at p = 1)
+    route = 2.0 * costs.p2p_time(m, sbytes) * (1.0 - 1.0 / p)
+    bcast = costs.bcast_time(m, 2.0 * sbytes, p)
+    reduces = 2.0 * costs.allreduce_time(m, 64.0, p)
+    iter_comm = iters * (route + bcast + reduces)
+    # the δ allreduce at each shrink event
+    iter_comm += len(trace.shrink_iters) * costs.allreduce_time(m, 64.0, p)
+
+    # --- reconstruction part -------------------------------------------
+    recon_compute = 0.0
+    recon_comm = 0.0
+    for it, events in _events_by_round(trace).items():
+        shrunk = sum(e.n_shrunk_local for e in events) * n_scale
+        contrib = sum(e.n_contrib_local for e in events) * n_scale
+        recon_compute += np.ceil(shrunk / p) * contrib * lam
+        chunk_bytes = (contrib / p) * sbytes
+        recon_comm += costs.ring_exchange_time(m, chunk_bytes, p)
+
+    total = iter_compute + iter_comm + recon_compute + recon_comm
+    return ProjectedTime(
+        p=p,
+        total=total,
+        iter_compute=iter_compute,
+        iter_comm=iter_comm,
+        recon_compute=recon_compute,
+        recon_comm=recon_comm,
+    )
+
+
+def _events_by_round(trace: "SolveTrace") -> Dict[int, List]:
+    rounds: Dict[int, List] = {}
+    for ev in trace.recon_events:
+        rounds.setdefault(ev.iteration, []).append(ev)
+    return rounds
+
+
+def project_series(
+    trace: "SolveTrace",
+    machine: MachineSpec,
+    ps: Iterable[int],
+    **kwargs,
+) -> List[ProjectedTime]:
+    """Project the same trace at several process counts."""
+    return [project(trace, machine, p, **kwargs) for p in ps]
+
+
+def speedup_vs(
+    times: List[ProjectedTime], reference_time: float
+) -> List[float]:
+    """Relative speedup of each projection against a reference time."""
+    if reference_time <= 0:
+        raise ValueError(f"reference time must be positive, got {reference_time}")
+    return [reference_time / t.total for t in times]
+
+
+def parallel_efficiency(times: List[ProjectedTime]) -> List[float]:
+    """Efficiency relative to the smallest-p projection in the list."""
+    if not times:
+        return []
+    base = times[0]
+    return [
+        (base.total * base.p) / (t.total * t.p) if t.total > 0 else 0.0
+        for t in times
+    ]

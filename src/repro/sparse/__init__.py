@@ -1,0 +1,29 @@
+"""``repro.sparse`` — the CSR storage substrate (paper §III-A).
+
+Compressed-sparse-row matrices with the vectorized operations the SVM
+solvers need, libsvm-format I/O, and the block-row partitioner used by
+the distributed algorithms.
+"""
+
+from .csr import CSRError, CSRMatrix, sparse_sparse_dot
+from .io import (
+    FormatError,
+    dumps_libsvm,
+    load_libsvm,
+    loads_libsvm,
+    save_libsvm,
+)
+from .partition import BlockPartition, split_rows
+
+__all__ = [
+    "BlockPartition",
+    "CSRError",
+    "CSRMatrix",
+    "FormatError",
+    "dumps_libsvm",
+    "load_libsvm",
+    "loads_libsvm",
+    "save_libsvm",
+    "sparse_sparse_dot",
+    "split_rows",
+]

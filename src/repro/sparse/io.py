@@ -1,0 +1,105 @@
+"""libsvm/svmlight text-format reader and writer.
+
+The paper's datasets come from the libsvm page in this format::
+
+    <label> <index>:<value> <index>:<value> ...
+
+Indices are 1-based in the file and converted to 0-based columns.  The
+reader is tolerant of comments (``#``), blank lines and unsorted indices
+(rows are sorted on load); the writer emits sorted 1-based indices.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Tuple, Union
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+class FormatError(ValueError):
+    """Malformed libsvm-format input."""
+
+
+def loads_libsvm(
+    text: str, *, n_features: int | None = None
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Parse libsvm-format text into ``(X, y)``."""
+    return _read(io.StringIO(text), n_features)
+
+
+def load_libsvm(
+    path: Union[str, Path], *, n_features: int | None = None
+) -> Tuple[CSRMatrix, np.ndarray]:
+    """Load a libsvm-format file into ``(X, y)``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read(fh, n_features)
+
+
+def _read(fh: TextIO, n_features: int | None) -> Tuple[CSRMatrix, np.ndarray]:
+    labels: List[float] = []
+    idx_parts: List[np.ndarray] = []
+    val_parts: List[np.ndarray] = []
+    max_col = -1
+    for lineno, line in enumerate(fh, start=1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        try:
+            labels.append(float(fields[0]))
+        except ValueError as exc:
+            raise FormatError(f"line {lineno}: bad label {fields[0]!r}") from exc
+        cols = np.empty(len(fields) - 1, dtype=np.int64)
+        vals = np.empty(len(fields) - 1, dtype=np.float64)
+        for k, tok in enumerate(fields[1:]):
+            try:
+                i, v = tok.split(":", 1)
+                cols[k] = int(i) - 1
+                vals[k] = float(v)
+            except ValueError as exc:
+                raise FormatError(
+                    f"line {lineno}: bad feature token {tok!r}"
+                ) from exc
+            if cols[k] < 0:
+                raise FormatError(f"line {lineno}: index must be >= 1")
+        order = np.argsort(cols, kind="stable")
+        cols, vals = cols[order], vals[order]
+        if cols.size > 1 and np.any(np.diff(cols) == 0):
+            raise FormatError(f"line {lineno}: duplicate feature index")
+        if cols.size:
+            max_col = max(max_col, int(cols[-1]))
+        idx_parts.append(cols)
+        val_parts.append(vals)
+    ncols = n_features if n_features is not None else max_col + 1
+    if max_col >= ncols:
+        raise FormatError(
+            f"feature index {max_col + 1} exceeds n_features={ncols}"
+        )
+    X = CSRMatrix.from_rows(list(zip(idx_parts, val_parts)), ncols)
+    return X, np.asarray(labels, dtype=np.float64)
+
+
+def dumps_libsvm(X: CSRMatrix, y: np.ndarray) -> str:
+    """Serialize ``(X, y)`` to libsvm-format text."""
+    if len(y) != X.shape[0]:
+        raise FormatError(f"{len(y)} labels for {X.shape[0]} rows")
+    lines: List[str] = []
+    for i in range(X.shape[0]):
+        cols, vals = X.row(i)
+        label = y[i]
+        head = (
+            f"{int(label)}"
+            if float(label).is_integer()
+            else f"{float(label):.17g}"
+        )
+        toks = " ".join(f"{c + 1}:{v:.17g}" for c, v in zip(cols, vals))
+        lines.append(f"{head} {toks}".rstrip())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_libsvm(path: Union[str, Path], X: CSRMatrix, y: np.ndarray) -> None:
+    Path(path).write_text(dumps_libsvm(X, y), encoding="utf-8")

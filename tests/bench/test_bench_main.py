@@ -1,0 +1,19 @@
+"""The ``python -m repro.bench`` entry point."""
+
+from repro.bench.__main__ import main
+
+
+def test_unknown_experiment_id(capsys):
+    rc = main(["not-an-experiment"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "fig3" in err  # lists the available ids
+
+
+def test_single_fast_experiment(capsys):
+    rc = main(["ablation-cache"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ablation-cache" in out
+    assert "hit_rate" in out

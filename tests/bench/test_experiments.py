@@ -1,0 +1,73 @@
+"""Experiment registry and the fast experiment runners."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    FIGURE_DATASET,
+    FIGURE_PROCS,
+    TABLE4_PROCS,
+    run_ablation_cache,
+    run_ablation_recon_eps,
+    run_ablation_subsequent,
+)
+
+
+class TestRegistry:
+    def test_every_figure_and_table_present(self):
+        expect = {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table2", "table4", "table5",
+            "ablation-subsequent", "ablation-recon-eps", "ablation-cache",
+        }
+        assert expect <= set(EXPERIMENTS)
+
+    def test_ids_self_consistent(self):
+        for key, exp in EXPERIMENTS.items():
+            assert exp.id == key
+            assert exp.description
+            assert callable(exp.run)
+
+    def test_figures_match_paper_axes(self):
+        assert FIGURE_DATASET == {
+            "fig3": "higgs",
+            "fig4": "url",
+            "fig5": "forest",
+            "fig6": "mnist",
+            "fig7": "real-sim",
+        }
+        assert FIGURE_PROCS["fig3"][-1] == 4096
+        assert FIGURE_PROCS["fig4"][-1] == 4096
+        assert FIGURE_PROCS["fig5"][-1] == 1024
+        assert FIGURE_PROCS["fig6"][-1] == 512
+        assert FIGURE_PROCS["fig7"][-1] == 256
+
+    def test_table4_procs_match_paper(self):
+        assert TABLE4_PROCS == {
+            "a9a": 16, "rcv1": 64, "usps": 4, "mushrooms": 4, "w7a": 16
+        }
+
+    def test_unknown_figure_rejected(self):
+        from repro.bench.experiments import run_figure
+
+        with pytest.raises(ValueError):
+            run_figure("fig99")
+
+
+class TestAblationRunners:
+    def test_cache_ablation_shape(self):
+        text, payload = run_ablation_cache("mnist")
+        assert "hit_rate" in text
+        labels = [r["cache"] for r in payload["rows"]]
+        assert labels == ["full", "quarter", "5%", "none"]
+
+    def test_subsequent_ablation_shape(self):
+        text, payload = run_ablation_subsequent("mnist")
+        policies = {r["policy"] for r in payload["rows"]}
+        assert policies == {"active_set", "initial"}
+        assert "subsequent-threshold" in text
+
+    def test_recon_eps_ablation_shape(self):
+        text, payload = run_ablation_recon_eps("mnist")
+        factors = {r["factor"] for r in payload["rows"]}
+        assert factors == {10.0, 1.0}

@@ -1,0 +1,140 @@
+"""Experiment harness + report formatting (small smoke configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import report, run_accuracy_experiment, run_speedup_experiment
+from repro.bench.harness import _paper_relative_heuristic
+from repro.data import get_entry
+
+
+@pytest.fixture(scope="module")
+def mnist_result():
+    return run_speedup_experiment(
+        "mnist", [16, 64], scale=0.006, max_iter=500_000
+    )
+
+
+class TestSpeedupExperiment:
+    def test_runs_all_default_heuristics(self, mnist_result):
+        assert set(mnist_result.runs) == {"original", "multi5pc", "single50pc"}
+
+    def test_speedups_populated(self, mnist_result):
+        for run in mnist_result.runs.values():
+            assert len(run.speedups_enh) == 2
+            assert len(run.speedups_seq) == 2
+            assert len(run.speedups_vs_original) == 2
+            assert all(s > 0 for s in run.speedups_enh)
+
+    def test_seq_slower_than_enh_reference(self, mnist_result):
+        """Speedup vs the 1-core baseline must exceed vs 16-core."""
+        for run in mnist_result.runs.values():
+            for s_seq, s_enh in zip(run.speedups_seq, run.speedups_enh):
+                assert s_seq > s_enh
+
+    def test_original_speedup_vs_itself_is_one(self, mnist_result):
+        assert all(
+            s == pytest.approx(1.0)
+            for s in mnist_result.runs["original"].speedups_vs_original
+        )
+
+    def test_baselines_ordered(self, mnist_result):
+        assert mnist_result.baseline_seq.total > mnist_result.baseline_enh.total
+
+    def test_scaling_factors(self, mnist_result):
+        entry = get_entry("mnist")
+        assert mnist_result.n_scale == pytest.approx(
+            entry.paper_train / mnist_result.data.n_train
+        )
+        assert mnist_result.iteration_scale > 1
+
+    def test_best_worst_excludes_original(self, mnist_result):
+        best, worst = mnist_result.best_worst()
+        assert best != "original" and worst != "original"
+
+    def test_accuracy_maintained_across_heuristics(self, mnist_result):
+        a = mnist_result.runs["original"].fit.alpha
+        b = mnist_result.runs["multi5pc"].fit.alpha
+        assert np.allclose(a, b, atol=0.05 * get_entry("mnist").C)
+
+
+class TestPaperRelativeThresholds:
+    def test_numsamples_mapped(self):
+        entry = get_entry("mnist")  # paper: N=60000, 21000 iterations
+        h = _paper_relative_heuristic("multi5pc", entry, 1000, 21_000.0)
+        # 5% of 60000 = 3000 -> 3000/21000 of the run -> 143 of 1000
+        assert h.threshold_kind == "random"
+        assert h.threshold_value == pytest.approx(143, abs=2)
+        assert h.reconstruction == "multi"
+
+    def test_late_threshold_beyond_run(self):
+        entry = get_entry("mnist")
+        h = _paper_relative_heuristic("single50pc", entry, 1000, 21_000.0)
+        assert h.threshold_value > 1000  # never fires: Worst == Default
+
+    def test_original_passthrough(self):
+        entry = get_entry("mnist")
+        h = _paper_relative_heuristic("original", entry, 1000, 21_000.0)
+        assert not h.shrinks
+
+
+class TestAccuracyExperiment:
+    def test_row_fields(self):
+        row = run_accuracy_experiment("w7a", scale=0.02, nprocs=2)
+        assert row["dataset"] == "w7a"
+        assert 60.0 <= row["ours"] <= 100.0
+        assert 60.0 <= row["libsvm"] <= 100.0
+        assert abs(row["ours"] - row["libsvm"]) < 5.0  # parity
+
+    def test_requires_test_split(self):
+        with pytest.raises(ValueError):
+            run_accuracy_experiment("higgs", scale=0.0003)
+
+
+class TestReportFormatting:
+    def test_figure_table_renders(self, mnist_result):
+        text = report.figure_speedup_table(mnist_result, title="T")
+        assert "T" in text
+        assert "16" in text and "64" in text
+        assert "multi5pc" in text
+
+    def test_figure_table_references(self, mnist_result):
+        for ref in ("libsvm-enhanced", "libsvm-sequential", "original"):
+            text = report.figure_speedup_table(mnist_result, reference=ref)
+            assert f"speedup vs {ref}" in text
+
+    def test_recon_fraction_table(self, mnist_result):
+        text = report.recon_fraction_table({"mnist": mnist_result})
+        assert "mnist" in text
+        assert "Figure 8" in text
+
+    def test_table4_and_5_render(self):
+        t4 = report.table4(
+            [{"dataset": "a9a", "procs": 16, "default": 1.0,
+              "worst": 2.0, "best": 3.0, "paper_best": 3.2}]
+        )
+        assert "a9a" in t4
+        t5 = report.table5(
+            [{"dataset": "usps", "ours": 97.0, "libsvm": 97.5,
+              "paper_ours": 97.6, "paper_libsvm": 97.75}]
+        )
+        assert "usps" in t5
+
+    def test_active_set_summary(self, mnist_result):
+        text = report.active_set_summary(mnist_result, "multi5pc")
+        assert "active-set" in text
+
+
+class TestConvergenceCurve:
+    def test_renders_log_scale(self):
+        import numpy as np
+
+        gaps = np.geomspace(2.0, 1e-3, 400)
+        text = report.convergence_curve(gaps, title="demo")
+        assert "demo" in text
+        assert "*" in text
+        assert "iteration 0 .. 399" in text
+
+    def test_degenerate_input(self):
+        assert "no convergence" in report.convergence_curve([])
+        assert "no convergence" in report.convergence_curve([0.0, -1.0])

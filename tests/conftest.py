@@ -1,0 +1,75 @@
+"""Shared fixtures: small, fast, deterministic problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SVMParams
+from repro.kernels import LinearKernel, RBFKernel
+from repro.sparse import CSRMatrix
+
+
+def make_blobs(n=80, d=3, sep=3.0, noise=1.0, seed=0, density=1.0):
+    """Two Gaussian blobs; returns (CSRMatrix, y in ±1)."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    X1 = rng.normal(sep / 2, noise, (half, d))
+    X2 = rng.normal(-sep / 2, noise, (n - half, d))
+    Xd = np.vstack([X1, X2])
+    if density < 1.0:
+        Xd = Xd * (rng.random(Xd.shape) < density)
+    y = np.concatenate([np.ones(half), -np.ones(n - half)])
+    perm = rng.permutation(n)
+    return CSRMatrix.from_dense(Xd[perm]), y[perm]
+
+
+@pytest.fixture
+def blobs():
+    return make_blobs()
+
+@pytest.fixture
+def blobs_hard():
+    """Overlapping classes: many support vectors, shrinking matters."""
+    return make_blobs(n=120, sep=1.2, noise=1.3, seed=3)
+
+
+@pytest.fixture
+def rbf_params():
+    return SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-3, max_iter=200_000)
+
+
+@pytest.fixture
+def linear_params():
+    return SVMParams(C=1.0, kernel=LinearKernel(), eps=1e-3, max_iter=200_000)
+
+
+def dense_kernel_matrix(X: CSRMatrix, kernel) -> np.ndarray:
+    """Reference kernel matrix via the public row API."""
+    n = X.shape[0]
+    norms = X.row_norms_sq()
+    K = np.empty((n, n))
+    for i in range(n):
+        xi, xv = X.row(i)
+        K[i] = kernel.row_against_block(X, norms, xi, xv, float(norms[i]))
+    return K
+
+
+def check_kkt(X, y, alpha, beta, kernel, C, eps, tol_scale=3.0):
+    """Assert the KKT conditions of the trained dual solution."""
+    K = dense_kernel_matrix(X, kernel)
+    gamma = K @ (alpha * y) - y
+    # box constraints and the equality constraint
+    assert np.all(alpha >= -1e-10)
+    assert np.all(alpha <= C + 1e-8)
+    assert abs(float(alpha @ y)) < 1e-6 * max(1.0, C)
+    # eps-KKT via the beta_up/beta_low gap
+    from repro.core.sets import low_mask, up_mask
+
+    up = up_mask(alpha, y, C)
+    low = low_mask(alpha, y, C)
+    beta_up = gamma[up].min() if up.any() else np.inf
+    beta_low = gamma[low].max() if low.any() else -np.inf
+    assert beta_up + tol_scale * eps >= beta_low - eps, (
+        f"KKT gap too large: beta_low - beta_up = {beta_low - beta_up}"
+    )

@@ -1,0 +1,71 @@
+"""Gradient initialization and incremental updates vs direct Eq. (1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gradient import apply_pair_update, full_gradient, init_gradient
+
+
+def test_init_is_minus_y():
+    y = np.array([1.0, -1.0, 1.0])
+    assert np.array_equal(init_gradient(y), [-1.0, 1.0, -1.0])
+
+
+def test_init_copies():
+    y = np.ones(3)
+    g = init_gradient(y)
+    g[0] = 99
+    assert y[0] == 1.0
+
+
+def test_full_gradient_at_zero_alpha():
+    K = np.eye(4)
+    y = np.array([1.0, -1.0, 1.0, -1.0])
+    assert np.array_equal(full_gradient(K, np.zeros(4), y), -y)
+
+
+def test_incremental_matches_direct():
+    """A sequence of pair updates equals the closed-form gradient."""
+    rng = np.random.default_rng(0)
+    n = 12
+    A = rng.normal(size=(n, n))
+    K = A @ A.T  # PSD
+    y = rng.choice([-1.0, 1.0], n)
+    alpha = np.zeros(n)
+    gamma = init_gradient(y)
+    for _ in range(30):
+        i, j = rng.integers(0, n, 2)
+        d_i, d_j = rng.normal(size=2) * 0.1
+        apply_pair_update(
+            gamma, K[i], K[j], float(y[i]), float(y[j]), d_i, d_j
+        )
+        alpha[i] += d_i
+        alpha[j] += d_j
+    assert np.allclose(gamma, full_gradient(K, alpha, y))
+
+
+def test_zero_deltas_are_noops():
+    gamma = np.array([1.0, 2.0])
+    before = gamma.copy()
+    apply_pair_update(gamma, np.ones(2), np.ones(2), 1.0, -1.0, 0.0, 0.0)
+    assert np.array_equal(gamma, before)
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        apply_pair_update(np.zeros(3), np.zeros(2), np.zeros(3), 1, 1, 1, 1)
+
+
+def test_subset_update():
+    """Updates restricted to an active subset touch only that subset."""
+    rng = np.random.default_rng(1)
+    K = np.eye(6)
+    y = np.ones(6)
+    gamma = init_gradient(y)
+    idx = np.array([1, 3])
+    sub = gamma[idx]
+    apply_pair_update(sub, K[0][idx], K[2][idx], 1.0, 1.0, 0.5, 0.5)
+    gamma[idx] = sub
+    # rows 1 and 3 of K[0]/K[2] are zero (identity), so unchanged here;
+    # everything outside idx must be untouched regardless
+    assert np.array_equal(gamma, -np.ones(6))

@@ -1,0 +1,86 @@
+"""libsvm-style baseline solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import SVMParams, solve_libsvm_style, solve_sequential
+from repro.core.params import ConvergenceError
+from repro.kernels import RBFKernel
+
+from ..conftest import check_kkt, dense_kernel_matrix, make_blobs
+
+PARAMS = SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-3, max_iter=200_000)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_blobs(n=150, sep=1.8, noise=1.2, seed=7)
+
+
+def test_kkt_and_gradient(problem):
+    X, y = problem
+    res = solve_libsvm_style(X, y, PARAMS)
+    check_kkt(X, y, res.alpha, res.beta, PARAMS.kernel, PARAMS.C, PARAMS.eps)
+    K = dense_kernel_matrix(X, PARAMS.kernel)
+    assert np.allclose(K @ (res.alpha * y) - y, res.gamma, atol=1e-8)
+
+
+def test_agrees_with_reference(problem):
+    X, y = problem
+    ours = solve_sequential(X, y, PARAMS)
+    lib = solve_libsvm_style(X, y, PARAMS)
+    assert np.allclose(lib.alpha, ours.alpha, atol=0.05 * PARAMS.C)
+    assert abs(lib.beta - ours.beta) < 0.05
+
+
+def test_second_order_needs_fewer_iterations(problem):
+    X, y = problem
+    second = solve_libsvm_style(X, y, PARAMS, second_order=True)
+    first = solve_libsvm_style(X, y, PARAMS, second_order=False)
+    assert second.iterations < first.iterations
+
+
+def test_cache_reduces_evals(problem):
+    X, y = problem
+    n = X.shape[0]
+    cached = solve_libsvm_style(X, y, PARAMS, cache_bytes=8 * n * n)
+    uncached = solve_libsvm_style(X, y, PARAMS, cache_bytes=0)
+    assert cached.kernel_evals < uncached.kernel_evals
+    assert cached.cache_hit_rate > 0.5
+    assert uncached.cache_hit_rate == 0.0
+    # same optimization path either way
+    assert cached.iterations == uncached.iterations
+    assert np.array_equal(cached.alpha, uncached.alpha)
+
+
+def test_shrinking_does_not_change_solution(problem):
+    X, y = problem
+    a = solve_libsvm_style(X, y, PARAMS, shrinking=True)
+    b = solve_libsvm_style(X, y, PARAMS, shrinking=False)
+    assert np.allclose(a.alpha, b.alpha, atol=0.05 * PARAMS.C)
+    assert abs(a.beta - b.beta) < 0.05
+    check_kkt(X, y, a.alpha, a.beta, PARAMS.kernel, PARAMS.C, PARAMS.eps)
+
+
+def test_counters_consistent(problem):
+    X, y = problem
+    res = solve_libsvm_style(X, y, PARAMS)
+    assert res.kernel_requests >= res.kernel_evals > 0
+    assert 0.0 <= res.cache_hit_rate <= 1.0
+    assert res.gap <= 2 * PARAMS.eps + 1e-12
+    assert res.n_sv > 0
+
+
+def test_max_iter(problem):
+    X, y = problem
+    params = SVMParams(C=10.0, kernel=RBFKernel(0.5), max_iter=3)
+    with pytest.raises(ConvergenceError):
+        solve_libsvm_style(X, y, params)
+
+
+def test_input_validation():
+    X, y = make_blobs(n=10)
+    with pytest.raises(ValueError):
+        solve_libsvm_style(X, np.zeros(10), PARAMS)
+    with pytest.raises(ValueError):
+        solve_libsvm_style(X, y[:-1], PARAMS)

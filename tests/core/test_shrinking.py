@@ -1,0 +1,115 @@
+"""Table II heuristics registry."""
+
+import math
+
+import pytest
+
+from repro.core.shrinking import (
+    BEST_HEURISTIC,
+    HEURISTICS,
+    WORST_HEURISTIC,
+    Heuristic,
+    get_heuristic,
+)
+
+
+def test_table2_has_13_entries_plus_original():
+    assert len(HEURISTICS) == 13
+    assert "original" in HEURISTICS
+
+
+def test_table2_names():
+    expect = {
+        "original",
+        "single2", "single500", "single1000",
+        "single5pc", "single10pc", "single50pc",
+        "multi2", "multi500", "multi1000",
+        "multi5pc", "multi10pc", "multi50pc",
+    }
+    assert set(HEURISTICS) == expect
+
+
+def test_classes_match_table2():
+    agg = {"single2", "single500", "single5pc", "multi2", "multi500", "multi5pc"}
+    avg = {"single1000", "single10pc", "multi1000", "multi10pc"}
+    con = {"single50pc", "multi50pc"}
+    for name, h in HEURISTICS.items():
+        if name == "original":
+            assert h.klass == "none"
+        elif name in agg:
+            assert h.klass == "aggressive", name
+        elif name in avg:
+            assert h.klass == "average", name
+        else:
+            assert name in con and h.klass == "conservative"
+
+
+def test_reconstruction_kinds():
+    for name, h in HEURISTICS.items():
+        if name == "original":
+            assert h.reconstruction == "none"
+        elif name.startswith("single"):
+            assert h.reconstruction == "single"
+        else:
+            assert h.reconstruction == "multi"
+
+
+def test_initial_thresholds():
+    n = 10_000
+    assert HEURISTICS["original"].initial_threshold(n) == math.inf
+    assert HEURISTICS["single2"].initial_threshold(n) == 2
+    assert HEURISTICS["multi500"].initial_threshold(n) == 500
+    assert HEURISTICS["multi1000"].initial_threshold(n) == 1000
+    assert HEURISTICS["single5pc"].initial_threshold(n) == 500
+    assert HEURISTICS["multi10pc"].initial_threshold(n) == 1000
+    assert HEURISTICS["single50pc"].initial_threshold(n) == 5000
+
+
+def test_numsamples_threshold_minimum_one():
+    assert HEURISTICS["multi5pc"].initial_threshold(3) >= 1
+
+
+def test_paper_best_worst():
+    assert BEST_HEURISTIC == "multi5pc"
+    assert WORST_HEURISTIC == "single50pc"
+    assert BEST_HEURISTIC in HEURISTICS
+    assert WORST_HEURISTIC in HEURISTICS
+
+
+def test_get_heuristic_by_name_case_insensitive():
+    assert get_heuristic("Multi5PC") is HEURISTICS["multi5pc"]
+
+
+def test_get_heuristic_passthrough():
+    h = HEURISTICS["single2"]
+    assert get_heuristic(h) is h
+
+
+def test_get_heuristic_unknown():
+    with pytest.raises(ValueError):
+        get_heuristic("turbo9000")
+
+
+def test_with_subsequent():
+    h = HEURISTICS["multi5pc"].with_subsequent("initial")
+    assert h.subsequent == "initial"
+    assert h.name == "multi5pc"
+    assert HEURISTICS["multi5pc"].subsequent == "active_set"  # unchanged
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Heuristic("x", "numsamples", 1.5, "multi", "aggressive")
+    with pytest.raises(ValueError):
+        Heuristic("x", "random", 0, "multi", "aggressive")
+    with pytest.raises(ValueError):
+        Heuristic("x", "bogus", 1, "multi", "aggressive")
+    with pytest.raises(ValueError):
+        Heuristic("x", "random", 5, "bogus", "aggressive")
+    with pytest.raises(ValueError):
+        Heuristic("x", "random", 5, "multi", "aggressive", subsequent="bogus")
+
+
+def test_shrinks_flag():
+    assert not HEURISTICS["original"].shrinks
+    assert HEURISTICS["multi2"].shrinks

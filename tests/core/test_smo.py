@@ -1,0 +1,100 @@
+"""Sequential reference SMO (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergenceError, SVMParams, solve_sequential
+from repro.kernels import LinearKernel, RBFKernel
+
+from ..conftest import check_kkt, dense_kernel_matrix, make_blobs
+
+
+def test_converges_and_satisfies_kkt(blobs, rbf_params):
+    X, y = blobs
+    res = solve_sequential(X, y, rbf_params)
+    check_kkt(X, y, res.alpha, res.beta, rbf_params.kernel,
+              rbf_params.C, rbf_params.eps)
+    assert res.iterations > 0
+    assert 0 < res.n_sv < X.shape[0]
+
+
+def test_gradient_is_exact_at_convergence(blobs, rbf_params):
+    X, y = blobs
+    res = solve_sequential(X, y, rbf_params)
+    K = dense_kernel_matrix(X, rbf_params.kernel)
+    assert np.allclose(K @ (res.alpha * y) - y, res.gamma, atol=1e-9)
+
+
+def test_equality_constraint(blobs, rbf_params):
+    X, y = blobs
+    res = solve_sequential(X, y, rbf_params)
+    assert abs(float(res.alpha @ y)) < 1e-8
+
+
+def test_separable_data_classified_perfectly():
+    X, y = make_blobs(n=60, sep=6.0, noise=0.5, seed=1)
+    params = SVMParams(C=10.0, kernel=RBFKernel(0.5))
+    res = solve_sequential(X, y, params)
+    K = dense_kernel_matrix(X, params.kernel)
+    f = K @ (res.alpha * y) - res.beta
+    assert np.all(np.sign(f) == y)
+
+
+def test_few_support_vectors_on_clean_data():
+    """Figure 1's premise: |SV| << N for separated classes."""
+    X, y = make_blobs(n=200, sep=6.0, noise=0.6, seed=2)
+    res = solve_sequential(X, y, SVMParams(C=10.0, kernel=RBFKernel(0.5)))
+    assert res.n_sv < 0.2 * X.shape[0]
+
+
+def test_linear_kernel_matches_margin_geometry():
+    X, y = make_blobs(n=80, sep=4.0, noise=0.6, seed=3)
+    params = SVMParams(C=100.0, kernel=LinearKernel(), eps=1e-4)
+    res = solve_sequential(X, y, params)
+    check_kkt(X, y, res.alpha, res.beta, params.kernel, params.C, params.eps)
+
+
+def test_max_iter_raises(blobs_hard):
+    X, y = blobs_hard
+    params = SVMParams(C=10.0, kernel=RBFKernel(0.5), max_iter=5)
+    with pytest.raises(ConvergenceError):
+        solve_sequential(X, y, params)
+
+
+def test_gap_history_recorded(blobs, rbf_params):
+    X, y = blobs
+    res = solve_sequential(X, y, rbf_params, record_gap=True)
+    gaps = np.asarray(res.gap_history)
+    assert gaps.shape[0] == res.iterations + 1
+    assert gaps[0] == pytest.approx(2.0)  # initial gap: β_low−β_up = 2
+    assert gaps[-1] <= 2 * rbf_params.eps
+
+
+def test_input_validation():
+    X, y = make_blobs(n=10)
+    params = SVMParams()
+    with pytest.raises(ValueError):
+        solve_sequential(X, y[:-1], params)
+    with pytest.raises(ValueError):
+        solve_sequential(X, np.zeros(10), params)  # labels not ±1
+    from repro.sparse import CSRMatrix
+
+    with pytest.raises(ValueError):
+        solve_sequential(CSRMatrix.empty(3), np.zeros(0), params)
+
+
+def test_tighter_eps_smaller_gap(blobs_hard):
+    X, y = blobs_hard
+    loose = solve_sequential(X, y, SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-1))
+    tight = solve_sequential(X, y, SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-4))
+    assert tight.iterations > loose.iterations
+    assert (tight.beta_low - tight.beta_up) <= (loose.beta_low - loose.beta_up)
+
+
+def test_alpha_bounded_by_C(blobs_hard):
+    X, y = blobs_hard
+    params = SVMParams(C=0.5, kernel=RBFKernel(0.5))
+    res = solve_sequential(X, y, params)
+    assert res.alpha.max() <= 0.5 + 1e-9
+    # with a small C on noisy data, some alphas sit at the bound
+    assert np.any(np.isclose(res.alpha, 0.5, atol=1e-9))

@@ -1,0 +1,81 @@
+"""LocalBlock state container."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import LocalBlock, make_blocks
+from repro.sparse import BlockPartition, CSRMatrix
+
+from ..conftest import make_blobs
+
+
+def test_initial_state():
+    X, y = make_blobs(n=20)
+    blk = LocalBlock(X, y, global_start=100)
+    assert np.array_equal(blk.gamma, -y)
+    assert np.array_equal(blk.alpha, np.zeros(20))
+    assert blk.active.all()
+    assert blk.n_active == 20
+    assert blk.n_shrunk == 0
+
+
+def test_label_mismatch():
+    X, y = make_blobs(n=20)
+    with pytest.raises(ValueError):
+        LocalBlock(X, y[:-1], 0)
+
+
+def test_global_local_translation():
+    X, y = make_blobs(n=10)
+    blk = LocalBlock(X, y, global_start=50)
+    assert blk.owns_global(50) and blk.owns_global(59)
+    assert not blk.owns_global(49) and not blk.owns_global(60)
+    assert blk.to_local(53) == 3
+    with pytest.raises(IndexError):
+        blk.to_local(60)
+
+
+def test_active_view_cache_and_invalidation():
+    X, y = make_blobs(n=12)
+    blk = LocalBlock(X, y, 0)
+    idx1, Xa1, na1 = blk.active_view()
+    assert idx1.size == 12
+    # same object until invalidated
+    assert blk.active_view()[1] is Xa1
+    blk.active[3] = False
+    blk.invalidate_active()
+    idx2, Xa2, na2 = blk.active_view()
+    assert idx2.size == 11
+    assert 3 not in idx2
+    assert np.array_equal(Xa2.to_dense(), X.take_rows(idx2).to_dense())
+
+
+def test_sample_payload_roundtrip():
+    X, y = make_blobs(n=8)
+    blk = LocalBlock(X, y, 0)
+    blk.alpha[2] = 3.5
+    idx, vals, norm, label, alpha = blk.sample_payload(2)
+    xi, xv = X.row(2)
+    assert np.array_equal(idx, xi)
+    assert np.array_equal(vals, xv)
+    assert norm == pytest.approx(float(X.row_norms_sq()[2]))
+    assert label == y[2]
+    assert alpha == 3.5
+    # payload is a copy: mutating it leaves the block intact
+    vals[:] = 0
+    assert np.array_equal(X.row(2)[1], xv)
+
+
+def test_make_blocks_covers_problem():
+    X, y = make_blobs(n=23)
+    part = BlockPartition(23, 4)
+    blocks = make_blocks(X, y, part)
+    assert len(blocks) == 4
+    total = sum(b.n_local for b in blocks)
+    assert total == 23
+    re_X = CSRMatrix.vstack([b.X for b in blocks])
+    assert np.array_equal(re_X.to_dense(), X.to_dense())
+    re_y = np.concatenate([b.y for b in blocks])
+    assert np.array_equal(re_y, y)
+    for r, b in enumerate(blocks):
+        assert b.global_start == part.start(r)

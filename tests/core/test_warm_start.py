@@ -1,0 +1,98 @@
+"""Warm-starting the distributed solver from a previous dual solution."""
+
+import numpy as np
+import pytest
+
+from repro.core import SVMParams, fit_parallel, solve_sequential
+from repro.kernels import RBFKernel
+
+from ..conftest import check_kkt, make_blobs
+
+PARAMS = SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-3, max_iter=200_000)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_blobs(n=130, sep=1.7, noise=1.2, seed=41)
+
+
+def test_warm_start_from_solution_converges_fast(problem):
+    X, y = problem
+    cold = fit_parallel(X, y, PARAMS, heuristic="original", nprocs=2)
+    warm = fit_parallel(
+        X, y, PARAMS, heuristic="original", nprocs=2,
+        warm_start_alpha=cold.alpha,
+    )
+    # restarting at the optimum needs (almost) no iterations
+    assert warm.iterations <= max(3, cold.iterations // 20)
+    assert np.allclose(warm.alpha, cold.alpha, atol=1e-9)
+
+
+def test_warm_start_reaches_same_solution(problem):
+    X, y = problem
+    ref = solve_sequential(X, y, PARAMS)
+    # seed with a roughly feasible half-solution
+    seed = ref.alpha * 0.5
+    warm = fit_parallel(
+        X, y, PARAMS, heuristic="multi5pc", nprocs=3, warm_start_alpha=seed
+    )
+    check_kkt(X, y, warm.alpha, warm.model.beta, PARAMS.kernel,
+              PARAMS.C, PARAMS.eps)
+    assert abs(warm.model.beta - ref.beta) < 0.1
+
+
+def test_warm_start_across_C_change(problem):
+    """The regularization-path use case: refit after a small C change."""
+    X, y = problem
+    first = fit_parallel(X, y, PARAMS, nprocs=2)
+    params2 = SVMParams(C=12.0, kernel=RBFKernel(0.5), eps=1e-3,
+                        max_iter=200_000)
+    cold = fit_parallel(X, y, params2, nprocs=2)
+    warm = fit_parallel(
+        X, y, params2, nprocs=2, warm_start_alpha=first.alpha
+    )
+    assert warm.iterations < cold.iterations
+    check_kkt(X, y, warm.alpha, warm.model.beta, params2.kernel,
+              params2.C, params2.eps)
+
+
+def test_warm_start_p_consistency(problem):
+    X, y = problem
+    seed_fit = fit_parallel(X, y, PARAMS, nprocs=1)
+    seed = seed_fit.alpha * 0.7
+    # project back onto the equality constraint
+    seed -= y * (seed @ y) / len(y)
+    seed = np.clip(seed, 0.0, PARAMS.C)
+    seed -= y * (seed @ y) / len(y)
+    seed = np.clip(seed, 0.0, PARAMS.C)
+    if abs(seed @ y) > 1e-8:
+        pytest.skip("could not project the seed onto the constraint")
+    a = fit_parallel(X, y, PARAMS, nprocs=1, warm_start_alpha=seed)
+    b = fit_parallel(X, y, PARAMS, nprocs=4, warm_start_alpha=seed)
+    assert np.array_equal(a.alpha, b.alpha)
+
+
+def test_warm_start_validation(problem):
+    X, y = problem
+    n = X.shape[0]
+    with pytest.raises(ValueError):
+        fit_parallel(X, y, PARAMS, warm_start_alpha=np.zeros(n - 1))
+    with pytest.raises(ValueError):
+        fit_parallel(X, y, PARAMS, warm_start_alpha=np.full(n, -1.0))
+    with pytest.raises(ValueError):
+        fit_parallel(X, y, PARAMS, warm_start_alpha=np.full(n, 100.0))
+    bad = np.zeros(n)
+    bad[0] = 1.0  # sum(alpha*y) != 0
+    with pytest.raises(ValueError):
+        fit_parallel(X, y, PARAMS, warm_start_alpha=bad)
+
+
+def test_zero_seed_equals_cold_start(problem):
+    X, y = problem
+    cold = fit_parallel(X, y, PARAMS, heuristic="original", nprocs=2)
+    warm = fit_parallel(
+        X, y, PARAMS, heuristic="original", nprocs=2,
+        warm_start_alpha=np.zeros(X.shape[0]),
+    )
+    assert np.array_equal(cold.alpha, warm.alpha)
+    assert warm.iterations == cold.iterations

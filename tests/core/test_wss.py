@@ -1,0 +1,154 @@
+"""Working-set selection and the analytic pair step."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wss import (
+    NO_INDEX,
+    Violators,
+    compute_beta,
+    local_extrema,
+    solve_pair,
+)
+
+
+class TestLocalExtrema:
+    def test_basic(self):
+        gamma = np.array([3.0, -1.0, 2.0, 0.5])
+        up = np.array([True, True, False, True])
+        low = np.array([False, True, True, True])
+        bu, iu, bl, il = local_extrema(gamma, up, low, global_offset=100)
+        assert (bu, iu) == (-1.0, 101)
+        assert (bl, il) == (2.0, 102)
+
+    def test_empty_sets(self):
+        gamma = np.array([1.0])
+        none = np.array([False])
+        bu, iu, bl, il = local_extrema(gamma, none, none, 0)
+        assert bu == np.inf and iu == NO_INDEX
+        assert bl == -np.inf and il == NO_INDEX
+
+    def test_tie_breaks_to_first(self):
+        gamma = np.array([1.0, 1.0, 1.0])
+        all_ = np.ones(3, dtype=bool)
+        bu, iu, bl, il = local_extrema(gamma, all_, all_, 0)
+        assert iu == 0 and il == 0
+
+
+class TestViolators:
+    def test_convergence_rule(self):
+        v = Violators(-1.0, 0, -1.0, 1.0, 1, 1.0)
+        assert v.gap() == 2.0
+        assert not v.converged(0.5)
+        assert v.converged(1.0)
+
+    def test_inf_bounds_converged(self):
+        v = Violators(np.inf, NO_INDEX, np.inf, -np.inf, NO_INDEX, -np.inf)
+        assert v.converged(1e-3)
+
+
+class TestSolvePair:
+    C = 10.0
+
+    def run(self, y_up, y_low, a_up, a_low, g_up, g_low,
+            k_uu=1.0, k_ll=1.0, k_ul=0.3, C=None):
+        C = C or self.C
+        return solve_pair(k_uu, k_ll, k_ul, y_up, y_low, a_up, a_low,
+                          g_up, g_low, C)
+
+    def test_box_constraints_always_hold(self):
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            y_up, y_low = rng.choice([-1.0, 1.0], 2)
+            a_up, a_low = rng.random(2) * self.C
+            g_up, g_low = rng.normal(size=2) * 5
+            k_ul = rng.uniform(-0.9, 0.9)
+            nu, nl = self.run(y_up, y_low, a_up, a_low, g_up, g_low, k_ul=k_ul)
+            assert -1e-12 <= nu <= self.C + 1e-12
+            assert -1e-12 <= nl <= self.C + 1e-12
+
+    def test_pair_constraint_preserved(self):
+        """y_up·α_up + y_low·α_low is invariant."""
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            y_up, y_low = rng.choice([-1.0, 1.0], 2)
+            a_up, a_low = rng.random(2) * self.C
+            g_up, g_low = rng.normal(size=2) * 5
+            nu, nl = self.run(y_up, y_low, a_up, a_low, g_up, g_low)
+            before = y_up * a_up + y_low * a_low
+            after = y_up * nu + y_low * nl
+            assert np.isclose(before, after, atol=1e-9)
+
+    def test_no_change_when_no_violation(self):
+        """γ_up == γ_low -> Newton step is zero."""
+        nu, nl = self.run(1.0, -1.0, 2.0, 3.0, 0.5, 0.5)
+        assert np.isclose(nu, 2.0) and np.isclose(nl, 3.0)
+
+    def test_step_direction_reduces_violation(self):
+        """A feasible violating pair (i_up ∈ I1, i_low ∈ I4) must move:
+        α_low increases off its zero bound."""
+        nu, nl = self.run(1.0, -1.0, 0.0, 0.0, -1.0, 1.0)
+        assert nl > 0.0
+        assert nu > 0.0  # pair constraint: y_up α_up + y_low α_low fixed
+
+    def test_non_psd_curvature_regularized(self):
+        # k_ul > (k_uu + k_ll)/2 makes rho positive: must not blow up
+        nu, nl = self.run(1.0, 1.0, 1.0, 1.0, -1.0, 1.0, k_ul=2.0)
+        assert 0.0 <= nu <= self.C and 0.0 <= nl <= self.C
+
+    def test_objective_nonincreasing(self):
+        """The dual objective (minimization form) never increases."""
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            k_uu, k_ll = 1.0, 1.0
+            k_ul = rng.uniform(-0.9, 0.9)
+            y_up, y_low = rng.choice([-1.0, 1.0], 2)
+            a_up, a_low = rng.random(2) * self.C
+            g_up, g_low = rng.normal(size=2) * 3
+
+            def dual_delta(nu, nl):
+                du, dl = nu - a_up, nl - a_low
+                # ΔW = γ_up y_up dα_up + γ_low y_low dα_low + quadratic
+                quad = 0.5 * (
+                    k_uu * du * du * 1.0
+                    + k_ll * dl * dl
+                    + 2 * k_ul * du * dl * y_up * y_low
+                )
+                return g_up * y_up * du + g_low * y_low * dl + quad
+
+            nu, nl = self.run(y_up, y_low, a_up, a_low, g_up, g_low, k_ul=k_ul)
+            assert dual_delta(nu, nl) <= 1e-9
+
+
+class TestComputeBeta:
+    def test_mean_over_free(self):
+        gamma = np.array([1.0, 2.0, 5.0])
+        free = np.array([True, True, False])
+        assert compute_beta(gamma, free, -3.0, 3.0) == pytest.approx(1.5)
+
+    def test_fallback_midpoint(self):
+        gamma = np.array([1.0])
+        free = np.array([False])
+        assert compute_beta(gamma, free, -1.0, 2.0) == pytest.approx(0.5)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    y_up=st.sampled_from([-1.0, 1.0]),
+    y_low=st.sampled_from([-1.0, 1.0]),
+    a_up=st.floats(0, 10),
+    a_low=st.floats(0, 10),
+    g_up=st.floats(-10, 10),
+    g_low=st.floats(-10, 10),
+    k_ul=st.floats(-0.99, 0.99),
+)
+def test_solve_pair_properties(y_up, y_low, a_up, a_low, g_up, g_low, k_ul):
+    nu, nl = solve_pair(1.0, 1.0, k_ul, y_up, y_low, a_up, a_low,
+                        g_up, g_low, 10.0)
+    assert -1e-9 <= nu <= 10.0 + 1e-9
+    assert -1e-9 <= nl <= 10.0 + 1e-9
+    assert np.isclose(
+        y_up * a_up + y_low * a_low, y_up * nu + y_low * nl, atol=1e-8
+    )

@@ -1,0 +1,128 @@
+"""Dataset registry vs the paper's Table III."""
+
+import pytest
+
+from repro.data import (
+    DATASETS,
+    LARGE_DATASETS,
+    TABLE4_DATASETS,
+    TABLE5_DATASETS,
+    get_entry,
+    load_dataset,
+)
+
+#: Table III rows: (train, test, C, sigma^2)
+TABLE3 = {
+    "higgs": (2_600_000, 0, 32, 64),
+    "url": (2_300_000, 0, 10, 4),
+    "forest": (581_012, 0, 10, 4),
+    "real-sim": (72_309, 0, 10, 4),
+    "mnist": (60_000, 10_000, 10, 25),
+    "cod-rna": (59_535, 271_617, 32, 64),
+    "a9a": (32_561, 16_281, 32, 64),
+    "w7a": (24_692, 25_057, 32, 64),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE3))
+def test_table3_hyperparameters(name):
+    entry = get_entry(name)
+    train, test, C, s2 = TABLE3[name]
+    assert entry.paper_train == train
+    assert entry.paper_test == test
+    assert entry.C == C
+    assert entry.sigma_sq == s2
+    assert entry.gamma == pytest.approx(1.0 / s2)
+
+
+def test_all_eleven_datasets_present():
+    assert len(DATASETS) == 11
+    assert set(TABLE4_DATASETS) <= set(DATASETS)
+    assert set(TABLE5_DATASETS) <= set(DATASETS)
+    assert set(LARGE_DATASETS) <= set(DATASETS)
+
+
+def test_table5_datasets_have_test_splits():
+    for name in TABLE5_DATASETS:
+        assert get_entry(name).paper_test > 0, name
+
+
+def test_paper_facts_iterations():
+    assert get_entry("higgs").facts.iterations == 34_000_000
+    assert get_entry("forest").facts.iterations == 2_070_000
+    assert get_entry("mnist").facts.iterations == 21_000
+    assert get_entry("real-sim").facts.iterations == 47_000
+
+
+def test_unknown_dataset():
+    with pytest.raises(ValueError):
+        get_entry("imagenet")
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_load_dataset_default_scale(name):
+    ds = load_dataset(name)
+    assert 16 <= ds.n_train <= 3000  # offline-friendly
+    assert ds.n_features >= 8
+    entry = get_entry(name)
+    if entry.paper_test:
+        assert ds.n_test > 0
+
+
+def test_load_dataset_scale_override():
+    small = load_dataset("mnist", scale=0.005)
+    big = load_dataset("mnist", scale=0.02)
+    assert small.n_train < big.n_train
+
+
+def test_load_dataset_seed_override():
+    a = load_dataset("a9a", seed=1)
+    b = load_dataset("a9a", seed=2)
+    import numpy as np
+
+    assert not np.array_equal(a.y_train, b.y_train)
+
+
+def test_spec_target_dist_matches_sigma_sq():
+    for name, entry in DATASETS.items():
+        assert entry.spec.target_dist_sq == entry.sigma_sq, name
+
+
+class TestLoadFromFiles:
+    def test_real_data_adapter(self, tmp_path):
+        import numpy as np
+
+        from repro.data import load_dataset_from_files
+        from repro.sparse import save_libsvm
+
+        ds = load_dataset("w7a")
+        train = tmp_path / "train.libsvm"
+        test = tmp_path / "test.libsvm"
+        # emulate the real files' {1, 2} label convention
+        save_libsvm(train, ds.X_train, np.where(ds.y_train > 0, 2.0, 1.0))
+        save_libsvm(test, ds.X_test, np.where(ds.y_test > 0, 2.0, 1.0))
+        loaded = load_dataset_from_files("w7a", train, test)
+        assert loaded.name == "w7a"
+        assert set(np.unique(loaded.y_train)) == {-1.0, 1.0}
+        assert np.array_equal(loaded.y_train, ds.y_train)
+        assert loaded.X_test.shape[1] == loaded.X_train.shape[1]
+
+    def test_unknown_name_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.data import load_dataset_from_files
+
+        with _pytest.raises(ValueError):
+            load_dataset_from_files("nope", tmp_path / "x")
+
+    def test_single_class_file_rejected(self, tmp_path):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.data import load_dataset_from_files
+        from repro.sparse import CSRMatrix, save_libsvm
+
+        path = tmp_path / "one.libsvm"
+        save_libsvm(path, CSRMatrix.from_dense(np.ones((3, 2))), np.ones(3))
+        with _pytest.raises(ValueError):
+            load_dataset_from_files("w7a", path)

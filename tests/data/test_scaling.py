@@ -1,0 +1,72 @@
+"""MinMaxScaler (svm-scale style)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MinMaxScaler
+from repro.sparse import CSRMatrix
+
+
+def test_scales_to_unit_interval():
+    dense = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+    X = CSRMatrix.from_dense(dense)
+    out = MinMaxScaler().fit_transform(X).to_dense()
+    assert out.min() >= 0.0 - 1e-12
+    assert out.max() <= 1.0 + 1e-12
+    assert np.allclose(out[:, 0], [0.0, 0.5, 1.0])
+
+
+def test_sparse_zeros_participate():
+    """Implicit zeros count toward column extrema (svm-scale semantics)."""
+    dense = np.array([[0.0, 2.0], [0.0, 4.0], [3.0, 0.0]])
+    X = CSRMatrix.from_dense(dense)
+    out = MinMaxScaler().fit_transform(X).to_dense()
+    # column 0: min 0 max 3 -> stored value 3 maps to 1
+    assert out[2, 0] == pytest.approx(1.0)
+    # column 1: min 0 max 4 -> 2 maps to 0.5
+    assert out[0, 1] == pytest.approx(0.5)
+
+
+def test_custom_range():
+    dense = np.array([[1.0], [3.0]])
+    X = CSRMatrix.from_dense(dense)
+    out = MinMaxScaler(lower=-1.0, upper=1.0).fit_transform(X).to_dense()
+    assert np.allclose(out.ravel(), [-1.0, 1.0])
+
+
+def test_transform_applies_training_ranges():
+    train = CSRMatrix.from_dense(np.array([[0.0], [10.0]]))
+    test = CSRMatrix.from_dense(np.array([[20.0]]))
+    sc = MinMaxScaler().fit(train)
+    assert sc.transform(test).to_dense()[0, 0] == pytest.approx(2.0)
+
+
+def test_constant_column_is_safe():
+    dense = np.array([[5.0, 1.0], [5.0, 2.0]])
+    X = CSRMatrix.from_dense(dense)
+    out = MinMaxScaler().fit_transform(X).to_dense()
+    assert np.all(np.isfinite(out))
+
+
+def test_transform_before_fit():
+    with pytest.raises(RuntimeError):
+        MinMaxScaler().transform(CSRMatrix.empty(3))
+
+
+def test_column_count_mismatch():
+    sc = MinMaxScaler().fit(CSRMatrix.from_dense(np.ones((2, 3))))
+    with pytest.raises(ValueError):
+        sc.transform(CSRMatrix.from_dense(np.ones((2, 4))))
+
+
+def test_bad_range():
+    with pytest.raises(ValueError):
+        MinMaxScaler(lower=1.0, upper=0.0).fit(CSRMatrix.empty(1))
+
+
+def test_sparsity_preserved_for_nonneg():
+    rng = np.random.default_rng(0)
+    dense = np.abs(rng.normal(size=(10, 5))) * (rng.random((10, 5)) < 0.4)
+    X = CSRMatrix.from_dense(dense)
+    out = MinMaxScaler().fit_transform(X)
+    assert out.nnz == X.nnz  # zeros stay implicit

@@ -1,0 +1,130 @@
+"""Kernel functions vs closed-form dense references."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    SigmoidKernel,
+    make_kernel,
+)
+from repro.sparse import CSRMatrix
+
+RNG = np.random.default_rng(0)
+DENSE = RNG.normal(size=(10, 6)) * (RNG.random((10, 6)) < 0.7)
+X = CSRMatrix.from_dense(DENSE)
+NORMS = X.row_norms_sq()
+
+
+def reference(kernel_fn):
+    n = DENSE.shape[0]
+    K = np.empty((n, n))
+    for i in range(n):
+        for j in range(n):
+            K[i, j] = kernel_fn(DENSE[i], DENSE[j])
+    return K
+
+
+def computed(kernel):
+    n = DENSE.shape[0]
+    K = np.empty((n, n))
+    for i in range(n):
+        xi, xv = X.row(i)
+        K[i] = kernel.row_against_block(X, NORMS, xi, xv, float(NORMS[i]))
+    return K
+
+
+class TestRBF:
+    def test_matches_closed_form(self):
+        g = 0.37
+        K = computed(RBFKernel(g))
+        ref = reference(lambda a, b: np.exp(-g * ((a - b) ** 2).sum()))
+        assert np.allclose(K, ref)
+
+    def test_diag_is_one(self):
+        k = RBFKernel(2.0)
+        assert np.allclose(np.diag(computed(k)), 1.0)
+        assert np.allclose(k.diag(NORMS), 1.0)
+        assert k.self_value(123.4) == 1.0
+
+    def test_symmetry(self):
+        K = computed(RBFKernel(0.8))
+        assert np.allclose(K, K.T)
+
+    def test_psd(self):
+        K = computed(RBFKernel(0.8))
+        evals = np.linalg.eigvalsh(K)
+        assert evals.min() > -1e-10
+
+    def test_from_sigma_sq(self):
+        assert RBFKernel.from_sigma_sq(4.0).gamma == 0.25
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RBFKernel(0.0)
+        with pytest.raises(ValueError):
+            RBFKernel.from_sigma_sq(-1.0)
+
+    def test_pair_matches_row(self):
+        k = RBFKernel(0.5)
+        ai, av = X.row(1)
+        bi, bv = X.row(4)
+        pair = k.pair((ai, av, float(NORMS[1])), (bi, bv, float(NORMS[4])))
+        assert np.isclose(pair, computed(k)[1, 4])
+
+    def test_values_bounded(self):
+        K = computed(RBFKernel(1.3))
+        assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+
+
+class TestLinear:
+    def test_matches_closed_form(self):
+        K = computed(LinearKernel())
+        assert np.allclose(K, DENSE @ DENSE.T)
+
+    def test_diag(self):
+        assert np.allclose(LinearKernel().diag(NORMS), NORMS)
+
+
+class TestPolynomial:
+    def test_matches_closed_form(self):
+        k = PolynomialKernel(degree=3, gamma=0.5, coef0=1.0)
+        K = computed(k)
+        ref = reference(lambda a, b: (0.5 * (a @ b) + 1.0) ** 3)
+        assert np.allclose(K, ref)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            PolynomialKernel(degree=0)
+        with pytest.raises(ValueError):
+            PolynomialKernel(gamma=-1)
+
+    def test_params_dict(self):
+        p = PolynomialKernel(2, 0.3, 1.5).params()
+        assert p == {"degree": 2, "gamma": 0.3, "coef0": 1.5}
+
+
+class TestSigmoid:
+    def test_matches_closed_form(self):
+        k = SigmoidKernel(gamma=0.2, coef0=-0.5)
+        K = computed(k)
+        ref = reference(lambda a, b: np.tanh(0.2 * (a @ b) - 0.5))
+        assert np.allclose(K, ref)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            SigmoidKernel(gamma=0)
+
+
+class TestFactory:
+    def test_make_each(self):
+        assert isinstance(make_kernel("rbf", gamma=1.0), RBFKernel)
+        assert isinstance(make_kernel("linear"), LinearKernel)
+        assert isinstance(make_kernel("poly"), PolynomialKernel)
+        assert isinstance(make_kernel("sigmoid"), SigmoidKernel)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_kernel("wavelet")

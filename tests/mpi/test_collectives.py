@@ -1,0 +1,255 @@
+"""Every collective against a naive reference, across rank counts
+(including non-powers of two) and payload kinds."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import IN_PLACE, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, run_spmd
+
+PS = [1, 2, 3, 4, 5, 7, 8, 13]
+
+
+@pytest.mark.parametrize("p", PS)
+def test_bcast_object(p):
+    root = p - 1
+
+    def prog(comm):
+        obj = {"v": 42, "rank": comm.rank} if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    for out in run_spmd(prog, p).results:
+        assert out == {"v": 42, "rank": root}
+
+
+@pytest.mark.parametrize("p", PS)
+def test_bcast_typed_inplace(p):
+    def prog(comm):
+        buf = np.arange(6.0) if comm.rank == 0 else np.zeros(6)
+        comm.Bcast(buf, root=0)
+        return buf
+
+    for out in run_spmd(prog, p).results:
+        assert np.array_equal(out, np.arange(6.0))
+
+
+@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize(
+    "op,ref",
+    [
+        (SUM, lambda xs: sum(xs)),
+        (MAX, max),
+        (MIN, min),
+        (PROD, lambda xs: np.prod(xs)),
+    ],
+)
+def test_allreduce_scalar_ops(p, op, ref):
+    def prog(comm):
+        return comm.allreduce(comm.rank + 1, op)
+
+    expect = ref([r + 1 for r in range(p)])
+    assert all(v == expect for v in run_spmd(prog, p).results)
+
+
+@pytest.mark.parametrize("p", PS)
+def test_allreduce_array_sum(p):
+    def prog(comm):
+        return comm.allreduce(np.full(4, float(comm.rank)), SUM)
+
+    expect = np.full(4, p * (p - 1) / 2)
+    for out in run_spmd(prog, p).results:
+        assert np.allclose(out, expect)
+
+
+@pytest.mark.parametrize("p", PS)
+def test_allreduce_minloc_maxloc(p):
+    vals = [((r * 7) % p, r) for r in range(p)]
+
+    def prog(comm):
+        v = (float((comm.rank * 7) % p), comm.rank)
+        return comm.allreduce(v, MINLOC), comm.allreduce(v, MAXLOC)
+
+    lo = min(vals)
+    hi = max(v[0] for v in vals)
+    hi_idx = min(r for (v, r) in vals if v == hi)
+    for got_lo, got_hi in run_spmd(prog, p).results:
+        assert got_lo == (float(lo[0]), lo[1])
+        assert got_hi == (float(hi), hi_idx)
+
+
+def test_minloc_tie_breaks_to_lowest_rank():
+    def prog(comm):
+        return comm.allreduce((1.0, comm.rank), MINLOC)
+
+    for out in run_spmd(prog, 6).results:
+        assert out == (1.0, 0)
+
+
+@pytest.mark.parametrize("p", PS)
+def test_typed_allreduce_inplace(p):
+    def prog(comm):
+        buf = np.full(3, float(comm.rank + 1))
+        comm.Allreduce(IN_PLACE, buf, SUM)
+        return buf
+
+    expect = np.full(3, p * (p + 1) / 2)
+    for out in run_spmd(prog, p).results:
+        assert np.allclose(out, expect)
+
+
+@pytest.mark.parametrize("p", PS)
+def test_reduce_to_root(p):
+    root = p // 2
+
+    def prog(comm):
+        return comm.reduce(comm.rank, SUM, root=root)
+
+    res = run_spmd(prog, p).results
+    for r, out in enumerate(res):
+        if r == root:
+            assert out == p * (p - 1) // 2
+        else:
+            assert out is None
+
+
+@pytest.mark.parametrize("p", PS)
+def test_gather_scatter(p):
+    def prog(comm):
+        gathered = comm.gather(comm.rank ** 2, root=0)
+        objs = [i * 3 for i in range(comm.size)] if comm.rank == 0 else None
+        part = comm.scatter(objs, root=0)
+        return gathered, part
+
+    res = run_spmd(prog, p).results
+    assert res[0][0] == [r ** 2 for r in range(p)]
+    for r in range(1, p):
+        assert res[r][0] is None
+    assert [res[r][1] for r in range(p)] == [r * 3 for r in range(p)]
+
+
+@pytest.mark.parametrize("p", PS)
+def test_allgather(p):
+    def prog(comm):
+        return comm.allgather((comm.rank, "x"))
+
+    expect = [(r, "x") for r in range(p)]
+    for out in run_spmd(prog, p).results:
+        assert out == expect
+
+
+@pytest.mark.parametrize("p", PS)
+def test_alltoall(p):
+    def prog(comm):
+        return comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+
+    res = run_spmd(prog, p).results
+    for r in range(p):
+        assert res[r] == [f"{s}->{r}" for s in range(p)]
+
+
+@pytest.mark.parametrize("p", PS)
+def test_barrier_runs(p):
+    def prog(comm):
+        for _ in range(3):
+            comm.barrier()
+        return True
+
+    assert all(run_spmd(prog, p).results)
+
+
+@pytest.mark.parametrize("p", PS)
+def test_typed_gather_allgather_scatter(p):
+    def prog(comm):
+        send = np.full(2, float(comm.rank))
+        ag = np.zeros(2 * comm.size)
+        comm.Allgather(send, ag)
+        if comm.rank == 0:
+            g = np.zeros(2 * comm.size)
+        else:
+            g = np.zeros(0)
+        comm.Gather(send, g if comm.rank == 0 else np.zeros(2 * comm.size), root=0)
+        sc_src = np.repeat(np.arange(float(comm.size)), 2) if comm.rank == 0 else None
+        sc_out = np.zeros(2)
+        comm.Scatter(sc_src if comm.rank == 0 else np.zeros(0), sc_out, root=0)
+        return ag, sc_out
+
+    res = run_spmd(prog, p).results
+    expect_ag = np.repeat(np.arange(float(p)), 2)
+    for r, (ag, sc) in enumerate(res):
+        assert np.array_equal(ag, expect_ag)
+        assert np.array_equal(sc, np.full(2, float(r)))
+
+
+def test_float_reduction_determinism():
+    """Same inputs at same p -> bitwise identical allreduce results."""
+
+    def prog(comm):
+        rng = np.random.default_rng(comm.rank)
+        return comm.allreduce(rng.random(16), SUM)
+
+    a = run_spmd(prog, 7).results
+    b = run_spmd(prog, 7).results
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+    # and all ranks agree exactly
+    for x in a[1:]:
+        assert np.array_equal(a[0], x)
+
+
+def test_concurrent_collectives_do_not_cross_match():
+    """Back-to-back collectives with different shapes stay separated."""
+
+    def prog(comm):
+        a = comm.allreduce(comm.rank, SUM)
+        b = comm.bcast("z" if comm.rank == 1 else None, root=1)
+        c = comm.allgather(comm.rank)
+        return a, b, c
+
+    p = 6
+    for a, b, c in run_spmd(prog, p).results:
+        assert a == p * (p - 1) // 2
+        assert b == "z"
+        assert c == list(range(p))
+
+
+def test_split_subcommunicators():
+    def prog(comm):
+        color = comm.rank % 2
+        sub = comm.Split(color, key=comm.rank)
+        s = sub.allreduce(comm.rank, SUM)
+        return color, sub.size, s
+
+    p = 7
+    res = run_spmd(prog, p).results
+    evens = [r for r in range(p) if r % 2 == 0]
+    odds = [r for r in range(p) if r % 2 == 1]
+    for r, (color, size, s) in enumerate(res):
+        group = evens if color == 0 else odds
+        assert size == len(group)
+        assert s == sum(group)
+
+
+def test_split_none_color_returns_none():
+    def prog(comm):
+        sub = comm.Split(None if comm.rank == 0 else 1, key=comm.rank)
+        if comm.rank == 0:
+            return sub is None
+        return sub.size
+
+    res = run_spmd(prog, 4).results
+    assert res[0] is True
+    assert res[1:] == [3, 3, 3]
+
+
+def test_dup_isolates_traffic():
+    def prog(comm):
+        dup = comm.Dup()
+        # traffic on dup must not interfere with comm
+        if comm.rank == 0:
+            dup.send("on-dup", dest=1, tag=2)
+            comm.send("on-world", dest=1, tag=2)
+            return None
+        world_msg = comm.recv(source=0, tag=2)
+        dup_msg = dup.recv(source=0, tag=2)
+        return world_msg, dup_msg
+
+    assert run_spmd(prog, 2).results[1] == ("on-world", "on-dup")

@@ -1,0 +1,83 @@
+"""Buffer-spec resolution and tag validation."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import (
+    ANY_TAG,
+    TAG_UB,
+    as_array,
+    check_tag,
+    nbytes_of,
+)
+from repro.mpi.errors import CommError
+
+
+class TestAsArray:
+    def test_plain_array_is_view(self):
+        a = np.arange(6.0)
+        v = as_array(a)
+        v[0] = 99.0
+        assert a[0] == 99.0  # aliasing: receives fill caller memory
+
+    def test_2d_flattened(self):
+        a = np.ones((2, 3))
+        assert as_array(a).shape == (6,)
+
+    def test_tuple_with_count(self):
+        a = np.arange(10.0)
+        v = as_array((a, 4))
+        assert v.shape == (4,)
+        assert np.array_equal(v, a[:4])
+
+    def test_single_item_tuple(self):
+        a = np.arange(3)
+        assert as_array((a,)).shape == (3,)
+
+    def test_count_out_of_range(self):
+        a = np.arange(3.0)
+        with pytest.raises(CommError):
+            as_array((a, 7))
+        with pytest.raises(CommError):
+            as_array((a, -1))
+
+    def test_too_many_spec_items(self):
+        with pytest.raises(CommError):
+            as_array((np.ones(2), 1, None, None))
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(CommError):
+            as_array(np.array([{}, {}]))
+
+    def test_non_contiguous_rejected(self):
+        a = np.ones((4, 4))[:, ::2]
+        with pytest.raises(CommError):
+            as_array(a)
+
+    def test_list_input_coerced(self):
+        v = as_array(np.asarray([1.0, 2.0]))
+        assert v.dtype == np.float64
+
+
+class TestTags:
+    def test_valid_range(self):
+        assert check_tag(0) == 0
+        assert check_tag(TAG_UB) == TAG_UB
+
+    def test_negative_rejected(self):
+        with pytest.raises(CommError):
+            check_tag(-3)
+
+    def test_above_ub_rejected(self):
+        with pytest.raises(CommError):
+            check_tag(TAG_UB + 1)
+
+    def test_any_tag_only_on_receive(self):
+        assert check_tag(ANY_TAG, allow_any=True) == ANY_TAG
+        with pytest.raises(CommError):
+            check_tag(ANY_TAG)
+
+
+def test_nbytes_of():
+    assert nbytes_of(np.zeros(10, dtype=np.float64)) == 80
+    assert nbytes_of(np.zeros(10, dtype=np.int32)) == 40

@@ -1,0 +1,80 @@
+"""Reduction operator unit tests (array and object paths)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.reduceops import (
+    ALL_OPS,
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+)
+
+
+def test_registry_complete():
+    assert set(ALL_OPS) == {
+        "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR",
+        "MINLOC", "MAXLOC",
+    }
+
+
+@pytest.mark.parametrize(
+    "op,a,b,expect",
+    [
+        (SUM, 2, 3, 5),
+        (PROD, 2, 3, 6),
+        (MAX, 2, 3, 3),
+        (MIN, 2, 3, 2),
+        (LAND, True, False, False),
+        (LOR, True, False, True),
+        (BAND, 0b110, 0b011, 0b010),
+        (BOR, 0b110, 0b011, 0b111),
+    ],
+)
+def test_object_scalars(op, a, b, expect):
+    assert op.combine(a, b) == expect
+
+
+def test_array_elementwise():
+    a = np.array([1.0, 5.0, -2.0])
+    b = np.array([4.0, 2.0, -3.0])
+    assert np.array_equal(SUM.combine_arrays(a, b), a + b)
+    assert np.array_equal(MAX.combine_arrays(a, b), np.maximum(a, b))
+    assert np.array_equal(MIN.combine_arrays(a, b), np.minimum(a, b))
+    assert np.array_equal(PROD.combine_arrays(a, b), a * b)
+
+
+def test_minloc_maxloc_pairs():
+    assert MINLOC.combine((1.0, 3), (2.0, 1)) == (1.0, 3)
+    assert MINLOC.combine((1.0, 3), (1.0, 1)) == (1.0, 1)  # tie -> low idx
+    assert MAXLOC.combine((1.0, 3), (2.0, 1)) == (2.0, 1)
+    assert MAXLOC.combine((2.0, 3), (2.0, 1)) == (2.0, 1)
+
+
+def test_minloc_maxloc_arrays_packed_pairs():
+    a = np.array([[1.0, 3.0], [5.0, 0.0]])  # (value, index) rows
+    b = np.array([[1.0, 1.0], [4.0, 2.0]])
+    lo = MINLOC.combine_arrays(a, b)
+    hi = MAXLOC.combine_arrays(a, b)
+    assert np.array_equal(lo, np.array([[1.0, 1.0], [4.0, 2.0]]))
+    assert np.array_equal(hi, np.array([[1.0, 1.0], [5.0, 0.0]]))
+
+
+def test_ops_associative_commutative_on_ints():
+    rng = np.random.default_rng(0)
+    xs = rng.integers(-5, 5, 7).tolist()
+    for op in (SUM, MAX, MIN):
+        left = xs[0]
+        for x in xs[1:]:
+            left = op.combine(left, x)
+        right = xs[-1]
+        for x in reversed(xs[:-1]):
+            right = op.combine(x, right)
+        assert left == right

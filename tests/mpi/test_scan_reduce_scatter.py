@@ -1,0 +1,88 @@
+"""Scan, Exscan and Reduce_scatter collectives."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, SUM, run_spmd
+
+PS = [1, 2, 3, 5, 8]
+
+
+@pytest.mark.parametrize("p", PS)
+def test_scan_inclusive_prefix(p):
+    def prog(comm):
+        return comm.scan(comm.rank + 1, SUM)
+
+    res = run_spmd(prog, p).results
+    assert res == [sum(range(1, r + 2)) for r in range(p)]
+
+
+@pytest.mark.parametrize("p", PS)
+def test_scan_max(p):
+    vals = [(r * 5) % p for r in range(p)]
+
+    def prog(comm):
+        return comm.scan(vals[comm.rank], MAX)
+
+    res = run_spmd(prog, p).results
+    assert res == [max(vals[: r + 1]) for r in range(p)]
+
+
+@pytest.mark.parametrize("p", PS)
+def test_exscan_exclusive_prefix(p):
+    def prog(comm):
+        return comm.exscan(comm.rank + 1, SUM)
+
+    res = run_spmd(prog, p).results
+    assert res[0] is None
+    for r in range(1, p):
+        assert res[r] == sum(range(1, r + 1))
+
+
+@pytest.mark.parametrize("p", PS)
+def test_reduce_scatter_block(p):
+    def prog(comm):
+        # rank r contributes (r*10 + slot) for each slot
+        objs = [comm.rank * 10 + slot for slot in range(comm.size)]
+        return comm.reduce_scatter(objs, SUM)
+
+    res = run_spmd(prog, p).results
+    for slot in range(p):
+        expect = sum(r * 10 + slot for r in range(p))
+        assert res[slot] == expect
+
+
+def test_reduce_scatter_arrays_float_deterministic():
+    def prog(comm):
+        rng = np.random.default_rng(comm.rank)
+        objs = [rng.random(4) for _ in range(comm.size)]
+        return comm.reduce_scatter(objs, SUM)
+
+    a = run_spmd(prog, 5).results
+    b = run_spmd(prog, 5).results
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_reduce_scatter_wrong_length():
+    from repro.mpi import SpmdJobError
+
+    def prog(comm):
+        comm.reduce_scatter([1, 2, 3], SUM)  # size is 2
+
+    with pytest.raises(SpmdJobError):
+        run_spmd(prog, 2)
+
+
+def test_scan_interleaves_with_other_collectives():
+    def prog(comm):
+        a = comm.scan(1, SUM)
+        b = comm.allreduce(comm.rank, SUM)
+        c = comm.exscan(1, SUM)
+        return a, b, c
+
+    p = 4
+    for r, (a, b, c) in enumerate(run_spmd(prog, p).results):
+        assert a == r + 1
+        assert b == p * (p - 1) // 2
+        assert c == (None if r == 0 else r)

@@ -1,0 +1,63 @@
+"""libsvm baseline time model."""
+
+import pytest
+
+from repro.core import SVMParams, solve_libsvm_style
+from repro.kernels import RBFKernel
+from repro.perfmodel import MachineSpec, baseline_time
+from repro.perfmodel.baseline import paper_scale_baseline
+
+from ..conftest import make_blobs
+
+M = MachineSpec.cascade()
+
+
+def fit_counters():
+    X, y = make_blobs(n=100, sep=2.0, noise=1.1, seed=21)
+    params = SVMParams(C=10.0, kernel=RBFKernel(0.5))
+    return solve_libsvm_style(X, y, params), X
+
+
+def test_more_cores_faster():
+    res, X = fit_counters()
+    t1 = baseline_time(res, X.shape[0], X.avg_row_nnz, M, ncores=1)
+    t16 = baseline_time(res, X.shape[0], X.avg_row_nnz, M, ncores=16)
+    assert t16.total < t1.total
+    assert t16.kernel_time == pytest.approx(t1.kernel_time / 16)
+    assert t16.serial_time == t1.serial_time  # Amdahl: serial part fixed
+
+
+def test_invalid_cores():
+    res, X = fit_counters()
+    with pytest.raises(ValueError):
+        baseline_time(res, X.shape[0], 3.0, M, ncores=0)
+    with pytest.raises(ValueError):
+        paper_scale_baseline(100, 100, 3.0, M, ncores=0)
+
+
+class TestPaperScale:
+    def test_cache_collapse_on_huge_n(self):
+        """The §III-A argument: for HIGGS-sized N the node-memory cache
+        holds a vanishing fraction of rows, so kernel cost dominates."""
+        small = paper_scale_baseline(21_000, 60_000, 150, M, ncores=16)
+        huge = paper_scale_baseline(34e6, 2_600_000, 28, M, ncores=16)
+        # HIGGS baseline must be catastrophically slower (paper: > 2 days)
+        assert huge.total > 2 * 24 * 3600
+        assert small.total < 3600
+
+    def test_cold_miss_floor(self):
+        """Even a fully covering cache computes each row once."""
+        bt = paper_scale_baseline(
+            1e6, 1000, 50, M, ncores=1, cache_bytes=1e18
+        )
+        floor = M.time_kernel_evals(1000 * 1000, 50)
+        assert bt.kernel_time >= floor * 0.99
+
+    def test_scales_with_iterations(self):
+        a = paper_scale_baseline(1e5, 100_000, 50, M)
+        b = paper_scale_baseline(2e5, 100_000, 50, M)
+        assert b.total > a.total
+
+    def test_str_renders(self):
+        bt = paper_scale_baseline(1e4, 10_000, 20, M)
+        assert "cores" in str(bt)

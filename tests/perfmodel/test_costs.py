@@ -1,0 +1,52 @@
+"""Collective cost formulas."""
+
+import pytest
+
+from repro.perfmodel import MachineSpec, costs
+
+M = MachineSpec.cascade()
+
+
+def test_log2ceil():
+    assert costs.log2ceil(1) == 0
+    assert costs.log2ceil(2) == 1
+    assert costs.log2ceil(3) == 2
+    assert costs.log2ceil(1024) == 10
+    with pytest.raises(ValueError):
+        costs.log2ceil(0)
+
+
+def test_bcast_logarithmic():
+    t16 = costs.bcast_time(M, 100, 16)
+    t256 = costs.bcast_time(M, 100, 256)
+    assert t256 == pytest.approx(2 * t16)  # log 256 = 2 log 16
+
+
+def test_allreduce_single_rank_free():
+    assert costs.allreduce_time(M, 8, 1) == 0.0
+
+
+def test_ring_linear_in_p():
+    t4 = costs.ring_exchange_time(M, 1000, 4)
+    t8 = costs.ring_exchange_time(M, 1000, 8)
+    assert t8 == pytest.approx(t4 * 7 / 3)
+
+
+def test_ring_single_rank_free():
+    assert costs.ring_exchange_time(M, 1000, 1) == 0.0
+
+
+def test_barrier_only_latency():
+    assert costs.barrier_time(M, 8) == pytest.approx(3 * M.latency)
+
+
+def test_sample_bytes_grows_with_nnz():
+    assert costs.sample_bytes(100) > costs.sample_bytes(10)
+    assert costs.sample_bytes(0) > 0  # framing floor
+
+
+def test_big_messages_bandwidth_bound():
+    small = costs.p2p_time(M, 8)
+    big = costs.p2p_time(M, 10**8)
+    assert big > 100 * small
+    assert big == pytest.approx(10**8 * M.byte_time, rel=0.01)

@@ -1,0 +1,74 @@
+"""Hypothesis properties for the CSR substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import CSRMatrix
+
+
+def dense_matrices(max_n=12, max_d=8):
+    return st.integers(1, max_n).flatmap(
+        lambda n: st.integers(1, max_d).flatmap(
+            lambda d: arrays(
+                np.float64,
+                (n, d),
+                elements=st.floats(-100, 100, allow_nan=False).map(
+                    lambda x: 0.0 if abs(x) < 30 else x  # force sparsity
+                ),
+            )
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=dense_matrices())
+def test_dense_roundtrip(dense):
+    X = CSRMatrix.from_dense(dense)
+    assert np.array_equal(X.to_dense(), dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=dense_matrices())
+def test_serialization_roundtrip(dense):
+    X = CSRMatrix.from_dense(dense)
+    Y = CSRMatrix.from_bytes(X.to_bytes())
+    assert np.array_equal(Y.to_dense(), dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=dense_matrices(), seed=st.integers(0, 2**16))
+def test_matvec_matches_dense(dense, seed):
+    X = CSRMatrix.from_dense(dense)
+    v = np.random.default_rng(seed).normal(size=dense.shape[1])
+    assert np.allclose(X.dot_dense_vec(v), dense @ v, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dense=dense_matrices(), seed=st.integers(0, 2**16))
+def test_take_rows_matches_fancy_indexing(dense, seed):
+    X = CSRMatrix.from_dense(dense)
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, dense.shape[0], size=rng.integers(0, 15))
+    assert np.array_equal(X.take_rows(rows).to_dense(), dense[rows])
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=dense_matrices(), split=st.integers(0, 12))
+def test_vstack_inverts_split(dense, split):
+    split = split % (dense.shape[0] + 1)
+    X = CSRMatrix.from_dense(dense)
+    top = X.take_rows(np.arange(split))
+    bottom = X.take_rows(np.arange(split, dense.shape[0]))
+    again = CSRMatrix.vstack([top, bottom])
+    assert np.array_equal(again.to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=dense_matrices())
+def test_norms_nonnegative_and_exact(dense):
+    X = CSRMatrix.from_dense(dense)
+    norms = X.row_norms_sq()
+    assert np.all(norms >= 0)
+    assert np.allclose(norms, (dense**2).sum(axis=1))

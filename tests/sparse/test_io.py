@@ -1,0 +1,103 @@
+"""libsvm format I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    FormatError,
+    dumps_libsvm,
+    load_libsvm,
+    loads_libsvm,
+    save_libsvm,
+)
+
+
+def test_parse_basic():
+    text = "+1 1:0.5 3:2\n-1 2:1.5\n"
+    X, y = loads_libsvm(text)
+    assert y.tolist() == [1.0, -1.0]
+    assert np.array_equal(
+        X.to_dense(), np.array([[0.5, 0.0, 2.0], [0.0, 1.5, 0.0]])
+    )
+
+
+def test_parse_comments_and_blanks():
+    text = "# header\n\n1 1:1 # trailing\n\n-1 2:2\n"
+    X, y = loads_libsvm(text)
+    assert X.shape[0] == 2
+
+
+def test_parse_unsorted_indices():
+    X, y = loads_libsvm("1 3:3 1:1\n")
+    i, v = X.row(0)
+    assert i.tolist() == [0, 2]
+    assert v.tolist() == [1.0, 3.0]
+
+
+def test_parse_duplicate_index_rejected():
+    with pytest.raises(FormatError):
+        loads_libsvm("1 2:1 2:2\n")
+
+
+def test_parse_bad_label():
+    with pytest.raises(FormatError):
+        loads_libsvm("abc 1:1\n")
+
+
+def test_parse_bad_token():
+    with pytest.raises(FormatError):
+        loads_libsvm("1 1:1 junk\n")
+    with pytest.raises(FormatError):
+        loads_libsvm("1 1:xyz\n")
+
+
+def test_parse_zero_index_rejected():
+    with pytest.raises(FormatError):
+        loads_libsvm("1 0:1\n")
+
+
+def test_n_features_override_and_check():
+    X, _ = loads_libsvm("1 2:1\n", n_features=10)
+    assert X.shape == (1, 10)
+    with pytest.raises(FormatError):
+        loads_libsvm("1 12:1\n", n_features=10)
+
+
+def test_roundtrip():
+    rng = np.random.default_rng(0)
+    dense = rng.normal(size=(6, 5)) * (rng.random((6, 5)) < 0.5)
+    X = CSRMatrix.from_dense(dense)
+    y = np.where(rng.random(6) > 0.5, 1.0, -1.0)
+    X2, y2 = loads_libsvm(dumps_libsvm(X, y), n_features=5)
+    assert np.allclose(X2.to_dense(), dense)
+    assert np.array_equal(y, y2)
+
+
+def test_roundtrip_float_labels():
+    X = CSRMatrix.from_dense(np.array([[1.0]]))
+    y = np.array([0.75])
+    X2, y2 = loads_libsvm(dumps_libsvm(X, y))
+    assert y2[0] == 0.75
+
+
+def test_dumps_label_count_mismatch():
+    X = CSRMatrix.from_dense(np.ones((2, 2)))
+    with pytest.raises(FormatError):
+        dumps_libsvm(X, np.ones(3))
+
+
+def test_file_roundtrip(tmp_path):
+    X = CSRMatrix.from_dense(np.array([[0.0, 1.25], [3.5, 0.0]]))
+    y = np.array([1.0, -1.0])
+    path = tmp_path / "data.libsvm"
+    save_libsvm(path, X, y)
+    X2, y2 = load_libsvm(path, n_features=2)
+    assert np.allclose(X2.to_dense(), X.to_dense())
+    assert np.array_equal(y, y2)
+
+
+def test_empty_text():
+    X, y = loads_libsvm("", n_features=3)
+    assert X.shape == (0, 3)
+    assert y.size == 0

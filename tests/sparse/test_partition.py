@@ -1,0 +1,91 @@
+"""Block partition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import BlockPartition, CSRMatrix, split_rows
+
+
+def test_basic_counts():
+    part = BlockPartition(10, 3)
+    assert part.counts().tolist() == [4, 3, 3]
+    assert part.displs().tolist() == [0, 4, 7]
+    assert part.bounds(1) == (4, 7)
+
+
+def test_exact_division():
+    part = BlockPartition(8, 4)
+    assert part.counts().tolist() == [2, 2, 2, 2]
+
+
+def test_more_parts_than_items():
+    part = BlockPartition(2, 5)
+    assert part.counts().tolist() == [1, 1, 0, 0, 0]
+    assert part.owner(0) == 0
+    assert part.owner(1) == 1
+
+
+def test_empty():
+    part = BlockPartition(0, 3)
+    assert part.counts().sum() == 0
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        BlockPartition(5, 0)
+    with pytest.raises(ValueError):
+        BlockPartition(-1, 2)
+
+
+def test_owner_out_of_range():
+    part = BlockPartition(5, 2)
+    with pytest.raises(IndexError):
+        part.owner(5)
+    with pytest.raises(IndexError):
+        part.owner(-1)
+
+
+def test_rank_out_of_range():
+    part = BlockPartition(5, 2)
+    with pytest.raises(IndexError):
+        part.count(2)
+    with pytest.raises(IndexError):
+        part.to_global(0, 3)
+
+
+@settings(max_examples=80, deadline=None)
+@given(n=st.integers(0, 500), p=st.integers(1, 40))
+def test_partition_is_exact_cover(n, p):
+    part = BlockPartition(n, p)
+    assert part.counts().sum() == n
+    # contiguous, ordered, disjoint
+    pos = 0
+    for r in range(p):
+        lo, hi = part.bounds(r)
+        assert lo == pos
+        pos = hi
+    assert pos == n
+    # owner/local/global consistency
+    for g in range(0, n, max(1, n // 17)):
+        r = part.owner(g)
+        lo, hi = part.bounds(r)
+        assert lo <= g < hi
+        assert part.to_global(r, part.to_local(g)) == g
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 60), p=st.integers(1, 8), seed=st.integers(0, 99))
+def test_split_rows_reassembles(n, p, seed):
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(n, 4)) * (rng.random((n, 4)) < 0.6)
+    X = CSRMatrix.from_dense(dense)
+    blocks = split_rows(X, BlockPartition(n, p))
+    assert np.array_equal(CSRMatrix.vstack(blocks).to_dense(), dense)
+
+
+def test_split_rows_size_mismatch():
+    X = CSRMatrix.from_dense(np.ones((3, 2)))
+    with pytest.raises(ValueError):
+        split_rows(X, BlockPartition(4, 2))

@@ -1,0 +1,97 @@
+"""CLI smoke tests (in-process, no subprocess)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.model import load_model, save_model
+from repro.data import load_dataset
+from repro.sparse import save_libsvm
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "higgs" in out
+    assert "multi5pc" in out
+    assert "Table II" in out or "heuristics" in out
+
+
+def test_train_registry_dataset(capsys):
+    rc = main([
+        "train", "--dataset", "mushrooms", "--nprocs", "2",
+        "--heuristic", "multi5pc",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "iterations=" in out
+    assert "train accuracy" in out
+
+
+def test_train_file_and_predict_roundtrip(tmp_path, capsys):
+    ds = load_dataset("mushrooms")
+    train_path = tmp_path / "train.libsvm"
+    save_libsvm(train_path, ds.X_train, ds.y_train)
+    model_path = tmp_path / "model.json"
+
+    rc = main([
+        "train", "--train-file", str(train_path),
+        "--C", "10", "--sigma-sq", "4", "--model-out", str(model_path),
+    ])
+    assert rc == 0
+    assert model_path.exists()
+    capsys.readouterr()
+
+    rc = main([
+        "predict", "--model", str(model_path),
+        "--data", str(train_path), "--nprocs", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    labels = [line for line in out.splitlines() if line.strip()]
+    assert len(labels) == ds.n_train
+    assert set(labels) <= {"+1", "-1"}
+
+
+def test_predict_scores_flag(tmp_path, capsys):
+    ds = load_dataset("mushrooms")
+    train_path = tmp_path / "train.libsvm"
+    save_libsvm(train_path, ds.X_train, ds.y_train)
+    model_path = tmp_path / "model.json"
+    main(["train", "--train-file", str(train_path), "--C", "10",
+          "--sigma-sq", "4", "--model-out", str(model_path)])
+    capsys.readouterr()
+    main(["predict", "--model", str(model_path), "--data", str(train_path),
+          "--scores"])
+    out = capsys.readouterr().out
+    values = [float(v) for v in out.split()]
+    assert len(values) == ds.n_train
+
+
+def test_bad_machine_rejected():
+    with pytest.raises(SystemExit):
+        main(["train", "--dataset", "mushrooms", "--machine", "quantum"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_model_file_roundtrip(tmp_path):
+    from repro.core import SVMParams, fit_parallel
+    from repro.kernels import RBFKernel
+
+    ds = load_dataset("mushrooms")
+    fr = fit_parallel(
+        ds.X_train, ds.y_train,
+        SVMParams(C=10.0, kernel=RBFKernel(0.25)),
+        nprocs=2,
+    )
+    path = tmp_path / "m.json"
+    save_model(fr.model, path)
+    loaded = load_model(path)
+    assert np.allclose(
+        loaded.decision_function(ds.X_train),
+        fr.model.decision_function(ds.X_train),
+    )
