@@ -60,6 +60,11 @@ class LibsvmResult:
         return 1.0 - self.kernel_evals / self.kernel_requests
 
 
+#: cache-miss rows produced per blocked batch — bounds the slab at
+#: ROW_BATCH × N doubles during gradient reconstruction
+ROW_BATCH = 64
+
+
 class _RowProvider:
     """Kernel rows on demand through the LRU cache."""
 
@@ -84,6 +89,44 @@ class _RowProvider:
         self.evals += n
         self.cache.put(i, row)
         return row
+
+    def rows(self, idxs, *, batch: int = ROW_BATCH):
+        """Yield the kernel rows for ``idxs`` in order, producing cache
+        misses in blocked batches.
+
+        ``simulate_misses`` predicts exactly which requests will miss, so
+        all misses of a batch are evaluated as one ``Kernel.block`` slab,
+        then the get/put sequence of repeated :meth:`row` calls is
+        replayed verbatim — rows, hit/miss/eviction counters and the
+        cache's eventual state are all identical to the row-at-a-time
+        path.
+        """
+        n = self.X.shape[0]
+        idxs = [int(i) for i in idxs]
+        for lo in range(0, len(idxs), batch):
+            chunk = idxs[lo : lo + batch]
+            miss = self.cache.simulate_misses(chunk, n * 8)
+            fresh = {}
+            if miss:
+                miss_arr = np.asarray(miss, dtype=np.int64)
+                slab = self.kernel.block(
+                    self.X,
+                    self.norms,
+                    self.X.take_rows(miss_arr),
+                    self.norms[miss_arr],
+                )
+                for k, i in enumerate(miss):
+                    fresh[i] = np.ascontiguousarray(slab[:, k])
+            for i in chunk:
+                self.requests += n
+                cached = self.cache.get(i)
+                if cached is not None:
+                    yield cached
+                    continue
+                row = fresh[i]
+                self.evals += n
+                self.cache.put(i, row)
+                yield row
 
 
 def solve_libsvm_style(
@@ -128,8 +171,11 @@ def solve_libsvm_style(
     def reconstruct() -> None:
         nonlocal reconstructions
         gamma[:] = -y
-        for j in np.flatnonzero(alpha > 0):
-            gamma[:] += (alpha[j] * y[j]) * provider.row(j)
+        sv = np.flatnonzero(alpha > 0)
+        # cache-miss rows arrive in blocked batches; the accumulation
+        # order (ascending j) is unchanged
+        for j, row in zip(sv, provider.rows(sv)):
+            gamma[:] += (alpha[j] * y[j]) * row
         active[:] = True
         reconstructions += 1
 

@@ -18,6 +18,10 @@ import numpy as np
 from ..kernels import Kernel, make_kernel
 from ..sparse.csr import CSRMatrix
 
+#: test rows evaluated per kernel slab — bounds prediction scratch at
+#: roughly PREDICT_BLOCK_ROWS × n_sv doubles
+PREDICT_BLOCK_ROWS = 1024
+
 
 @dataclass
 class SVMModel:
@@ -47,18 +51,33 @@ class SVMModel:
         return -self.beta
 
     def decision_function(
-        self, X: Union[CSRMatrix, np.ndarray]
+        self,
+        X: Union[CSRMatrix, np.ndarray],
+        *,
+        block_rows: int = PREDICT_BLOCK_ROWS,
     ) -> np.ndarray:
-        """f(x) for every row of ``X``."""
+        """f(x) for every row of ``X``, evaluated block-at-a-time.
+
+        Each block of test rows is one CSR×CSRᵀ kernel slab against the
+        support vectors (``Kernel.block``) plus one weighted row sum,
+        instead of a Python loop over rows.  The row sum is a pairwise
+        reduction whose result depends only on the row's own values, so
+        the decision value of a sample is bitwise independent of how the
+        input is blocked or sharded (``decision_function_parallel``
+        relies on this).
+        """
         X = _as_csr(X, self.sv_X.shape[1])
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
         norms = X.row_norms_sq()
         out = np.empty(X.shape[0])
-        for i in range(X.shape[0]):
-            xi, xv = X.row(i)
-            kvals = self.kernel.row_against_block(
-                self.sv_X, self._sv_norms, xi, xv, float(norms[i])
+        for lo in range(0, X.shape[0], block_rows):
+            hi = min(lo + block_rows, X.shape[0])
+            slab = self.kernel.block(
+                X.row_slice(lo, hi), norms[lo:hi], self.sv_X, self._sv_norms
             )
-            out[i] = float(self.sv_coef @ kvals) - self.beta
+            slab *= self.sv_coef
+            out[lo:hi] = np.add.reduce(slab, axis=1) - self.beta
         return out
 
     def predict(self, X: Union[CSRMatrix, np.ndarray]) -> np.ndarray:

@@ -39,6 +39,7 @@ import numpy as np
 from ..kernels import Kernel
 from ..mpi.communicator import Comm
 from ..mpi.reduceops import MAXLOC, MINLOC, SUM
+from ..sparse.csr import CSRMatrix
 from ..sparse.partition import BlockPartition
 from .gradient import apply_pair_update
 from .params import ConvergenceError, SVMParams
@@ -154,10 +155,11 @@ class RankSolver:
         d_low = new_low - al
 
         idx, Xa, na = blk.active_view()
-        k_up_col = kernel.row_against_block(Xa, na, ui, uv, un)
-        k_low_col = kernel.row_against_block(Xa, na, li, lv, ln)
+        # both gradient-update kernel columns from one blocked call
+        pair = CSRMatrix.from_rows([(ui, uv), (li, lv)], blk.X.shape[1])
+        k_cols = kernel.block(Xa, na, pair, np.array([un, ln]))
         gsub = blk.gamma[idx]
-        apply_pair_update(gsub, k_up_col, k_low_col, yu, yl, d_up, d_low)
+        apply_pair_update(gsub, k_cols[:, 0], k_cols[:, 1], yu, yl, d_up, d_low)
         blk.gamma[idx] = gsub
         if blk.owns_global(viol.i_up):
             blk.alpha[blk.to_local(viol.i_up)] = new_up

@@ -56,9 +56,9 @@ def decision_function_parallel(
         raise ValueError("empty prediction input")
     nprocs = min(nprocs, n)
     part = BlockPartition(n, nprocs)
-    shards = [
-        X.take_rows(np.arange(*part.bounds(r))) for r in range(nprocs)
-    ]
+    # zero-copy contiguous views — shard setup no longer copies the
+    # test set once per rank
+    shards = [X.row_slice(*part.bounds(r)) for r in range(nprocs)]
     avg_nnz = model.sv_X.avg_row_nnz or 1.0
 
     def entry(comm):

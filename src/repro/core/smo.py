@@ -98,11 +98,12 @@ def solve_sequential(
         d_up = new_up - alpha[i_up]
         d_low = new_low - alpha[i_low]
 
-        k_up_col = kernel.row_against_block(X, norms, ui, uv, un)
-        k_low_col = kernel.row_against_block(X, norms, li, lv, ln)
+        # both gradient-update kernel columns from one blocked call
+        pair = CSRMatrix.from_rows([(ui, uv), (li, lv)], X.shape[1])
+        k_cols = kernel.block(X, norms, pair, np.array([un, ln]))
         kernel_evals += 2 * n
         apply_pair_update(
-            gamma, k_up_col, k_low_col,
+            gamma, k_cols[:, 0], k_cols[:, 1],
             float(y[i_up]), float(y[i_low]), d_up, d_low,
         )
         alpha[i_up] = new_up

@@ -106,10 +106,9 @@ def make_blocks(
     blocks = []
     for rank in range(part.p):
         lo, hi = part.bounds(rank)
-        rows = np.arange(lo, hi)
         blocks.append(
             LocalBlock(
-                X.take_rows(rows),
+                X.row_slice(lo, hi),
                 y[lo:hi],
                 lo,
                 gamma0=None if gamma0 is None else gamma0[lo:hi],

@@ -68,6 +68,32 @@ class KernelRowCache:
         self._rows[index] = row
         self._bytes += row.nbytes
 
+    def simulate_misses(self, keys, row_nbytes: int) -> list:
+        """Which of ``keys`` would miss if fetched via get/put in order?
+
+        Pure lookahead for batched row production: replays the exact
+        get-then-put-on-miss sequence (recency updates, evictions, the
+        too-big-to-cache rule) against a shadow of the current state,
+        assuming every newly produced row occupies ``row_nbytes``.
+        Nothing is mutated; counters are untouched.
+        """
+        sizes = {k: r.nbytes for k, r in self._rows.items()}  # LRU→MRU order
+        used = self._bytes
+        miss = []
+        for k in keys:
+            k = int(k)
+            if k in sizes:
+                sizes[k] = sizes.pop(k)  # move_to_end
+                continue
+            miss.append(k)
+            if row_nbytes > self.capacity_bytes:
+                continue
+            while used + row_nbytes > self.capacity_bytes and sizes:
+                used -= sizes.pop(next(iter(sizes)))
+            sizes[k] = row_nbytes
+            used += row_nbytes
+        return miss
+
     def invalidate(self) -> None:
         self._rows.clear()
         self._bytes = 0

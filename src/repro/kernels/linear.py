@@ -19,6 +19,11 @@ class LinearKernel(Kernel):
     ) -> np.ndarray:
         return np.asarray(dots, dtype=np.float64)
 
+    def block_from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norms_b: np.ndarray
+    ) -> np.ndarray:
+        return np.asarray(dots, dtype=np.float64)
+
     def self_value(self, norm_sq: float) -> float:
         return float(norm_sq)
 

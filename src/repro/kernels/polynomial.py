@@ -24,6 +24,11 @@ class PolynomialKernel(Kernel):
     ) -> np.ndarray:
         return (self.gamma * np.asarray(dots) + self.coef0) ** self.degree
 
+    def block_from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norms_b: np.ndarray
+    ) -> np.ndarray:
+        return (self.gamma * np.asarray(dots) + self.coef0) ** self.degree
+
     def self_value(self, norm_sq: float) -> float:
         return float((self.gamma * norm_sq + self.coef0) ** self.degree)
 

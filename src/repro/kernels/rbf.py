@@ -36,6 +36,18 @@ class RBFKernel(Kernel):
         np.maximum(dist_sq, 0.0, out=dist_sq)
         return np.exp(-self.gamma * dist_sq)
 
+    def block_from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norms_b: np.ndarray
+    ) -> np.ndarray:
+        # same elementwise expression (and op order) as from_dots per
+        # column, so the slab is bitwise identical to B.nrows
+        # row-at-a-time calls; in-place ops just avoid slab-sized temps
+        dist_sq = norms_a[:, None] + norms_b[None, :]
+        dist_sq -= 2.0 * dots
+        np.maximum(dist_sq, 0.0, out=dist_sq)
+        dist_sq *= -self.gamma
+        return np.exp(dist_sq, out=dist_sq)
+
     def self_value(self, norm_sq: float) -> float:
         return 1.0
 

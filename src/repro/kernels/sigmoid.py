@@ -25,6 +25,11 @@ class SigmoidKernel(Kernel):
     ) -> np.ndarray:
         return np.tanh(self.gamma * np.asarray(dots) + self.coef0)
 
+    def block_from_dots(
+        self, dots: np.ndarray, norms_a: np.ndarray, norms_b: np.ndarray
+    ) -> np.ndarray:
+        return np.tanh(self.gamma * np.asarray(dots) + self.coef0)
+
     def self_value(self, norm_sq: float) -> float:
         return float(np.tanh(self.gamma * norm_sq + self.coef0))
 

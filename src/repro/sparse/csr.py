@@ -5,8 +5,11 @@ per-sample metadata with the rows; kernel rows are recomputed on the fly
 against this structure instead of being cached.  This module implements
 exactly the operations the solvers need, all vectorized with numpy:
 
-- gather of row subsets (for shrinking / ring exchange),
+- gather of row subsets (for shrinking / ring exchange) and zero-copy
+  contiguous row slices (block partitioning),
 - sparse-matrix * sparse-vector products (the gradient-update hot path),
+- a tiled sparse × sparseᵀ product producing a dense block of pairwise
+  row inner products (the blocked kernel-evaluation engine),
 - squared row norms (RBF kernel precomputation),
 - compact binary (de)serialization (the ring exchange payload).
 """
@@ -20,6 +23,17 @@ import numpy as np
 
 _MAGIC = b"RCSR"
 _HEADER = struct.Struct("<4sqqq")  # magic, nrows, ncols, nnz
+
+#: default tile width for :meth:`CSRMatrix.dot_csr_t` — bounds the
+#: per-tile dense scratch at roughly ``tile_rows × max(ncols, nnz)``
+#: doubles while keeping the tile loop out of the Python-overhead regime
+DEFAULT_TILE_ROWS = 256
+
+#: cap on the per-tile ``(tile_rows, nnz)`` gather scratch of
+#: :meth:`CSRMatrix.dot_csr_t`, in doubles (512K ≈ 4 MiB) — same-sized
+#: tiles recycle through the allocator instead of page-faulting fresh
+#: tens-of-MiB blocks when the left operand is large
+TILE_BUDGET_ELEMS = 1 << 19
 
 
 class CSRError(ValueError):
@@ -214,6 +228,29 @@ class CSRMatrix:
             check=False,
         )
 
+    def row_slice(self, lo: int, hi: int) -> "CSRMatrix":
+        """Zero-copy view of the contiguous row range ``[lo, hi)``.
+
+        ``data`` and ``indices`` are slices (views) of this matrix's
+        arrays; only the ``hi - lo + 1`` indptr entries are newly
+        allocated.  Use this instead of ``take_rows(np.arange(lo, hi))``
+        wherever a block-row shard is read-only — it costs O(rows)
+        instead of O(nnz).
+        """
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi <= self.shape[0]:
+            raise IndexError(
+                f"row slice [{lo}, {hi}) invalid for {self.shape[0]} rows"
+            )
+        a, b = int(self.indptr[lo]), int(self.indptr[hi])
+        return CSRMatrix(
+            self.data[a:b],
+            self.indices[a:b],
+            self.indptr[lo : hi + 1] - a,
+            (hi - lo, self.shape[1]),
+            check=False,
+        )
+
     def to_dense(self) -> np.ndarray:
         out = np.zeros(self.shape)
         rows = np.repeat(
@@ -251,6 +288,52 @@ class CSRMatrix:
             )
         prod = self.data * dense[self.indices]
         return _segment_sums(prod, self.indptr)
+
+    def dot_csr_t(
+        self, other: "CSRMatrix", *, tile_rows: int = DEFAULT_TILE_ROWS
+    ) -> np.ndarray:
+        """Dense ``self @ otherᵀ`` — every pairwise row inner product.
+
+        The product is computed tile-at-a-time over ``other``'s rows:
+        each tile is scattered into a dense ``(t, ncols)`` scratch, the
+        nonzeros of ``self`` are gathered against it, and per-row segment
+        sums produce ``t`` output columns at once.  ``tile_rows`` is an
+        upper bound — the effective tile width also caps the ``(t, nnz)``
+        gather scratch at :data:`TILE_BUDGET_ELEMS` doubles, so a very
+        dense ``self`` shrinks the tiles instead of blowing past the
+        allocator's reuse threshold (the tiling never affects the
+        result, bitwise; see below).
+
+        Column ``j`` of the result is produced by exactly the same
+        scatter / gather / segment-sum sequence as
+        ``self.dot_sparse_vec(*other.row(j))``, so the blocked product is
+        *bitwise* identical to the row-at-a-time path — the property that
+        lets the solvers batch kernel evaluations without perturbing
+        their deterministic iteration sequences.
+        """
+        if other.shape[1] != self.shape[1]:
+            raise CSRError(
+                f"dot_csr_t column mismatch: {self.shape[1]} vs {other.shape[1]}"
+            )
+        if tile_rows < 1:
+            raise ValueError(f"tile_rows must be >= 1, got {tile_rows}")
+        n, m = self.shape[0], other.shape[0]
+        out = np.zeros((n, m))
+        if n == 0 or m == 0 or self.nnz == 0:
+            return out
+        tile_rows = max(1, min(tile_rows, TILE_BUDGET_ELEMS // self.nnz))
+        for lo in range(0, m, tile_rows):
+            hi = min(lo + tile_rows, m)
+            a, b = int(other.indptr[lo]), int(other.indptr[hi])
+            dense = np.zeros((hi - lo, self.shape[1]))
+            rows = np.repeat(
+                np.arange(hi - lo), np.diff(other.indptr[lo : hi + 1])
+            )
+            dense[rows, other.indices[a:b]] = other.data[a:b]
+            prod = dense.take(self.indices, axis=1)
+            prod *= self.data
+            out[:, lo:hi] = _segment_sums_2d(prod, self.indptr).T
+        return out
 
     def dot_rows(self, i: int, j: int) -> float:
         """<x_i, x_j> between two rows of this matrix."""
@@ -382,6 +465,45 @@ def _segment_sums(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
     empty = indptr[1:] == indptr[:-1]
     if empty.any():
         out[empty] = 0.0
+    return out
+
+
+def _segment_sums_2d(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Row-segmented sums of each row of a 2-D ``values`` array.
+
+    Each row of ``values`` is one flattened ``(nnz,)`` product vector;
+    the rows are summed with a *single* ``np.add.reduceat`` over the
+    flattened array, replicating the per-row segment starts at offsets
+    of ``nnz``.  Because ``indptr[0] == 0`` is always a valid start, the
+    last valid segment of row ``j`` ends exactly at ``(j + 1) * nnz`` —
+    the same extent it has in the 1-D call — so every ``(row, segment)``
+    pair is reduced over the same elements with the same reduction as
+    :func:`_segment_sums` on that row alone, and every output element is
+    bitwise identical to the 1-D path.  (A 2-D ``reduceat`` along
+    ``axis=1`` computes the same thing but pays a large per-segment
+    dispatch cost; the flat form runs at the 1-D inner-loop speed.)
+    """
+    t = values.shape[0]
+    nrows = indptr.shape[0] - 1
+    if nrows == 0:
+        return np.zeros((t, 0))
+    nnz = int(indptr[-1])
+    if nnz == 0 or t == 0:
+        return np.zeros((t, nrows))
+    starts = indptr[:-1]
+    # reduceat rejects indices == len(values); those belong to trailing
+    # empty rows, which the empty-row mask zeroes anyway
+    valid = starts < nnz
+    sv = starts[valid].astype(np.intp, copy=False)
+    starts_flat = (sv[None, :] + (np.arange(t, dtype=np.intp) * nnz)[:, None]).ravel()
+    flat = np.ascontiguousarray(values).reshape(-1)
+    seg = np.add.reduceat(flat, starts_flat).reshape(t, sv.size)
+    out = np.zeros((t, nrows))
+    out[:, valid] = seg
+    # reduceat yields values[start] for empty segments; zero them
+    empty = indptr[1:] == indptr[:-1]
+    if empty.any():
+        out[:, empty] = 0.0
     return out
 
 

@@ -97,5 +97,5 @@ def split_rows(X: CSRMatrix, part: BlockPartition) -> List[CSRMatrix]:
     blocks = []
     for rank in range(part.p):
         lo, hi = part.bounds(rank)
-        blocks.append(X.take_rows(np.arange(lo, hi)))
+        blocks.append(X.row_slice(lo, hi))
     return blocks

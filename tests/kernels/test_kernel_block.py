@@ -1,0 +1,108 @@
+"""The batched ``Kernel.block`` API and the vectorized diagonal.
+
+The solvers treat ``block`` as a drop-in replacement for per-sample
+``row_against_block`` loops, so the tests here assert *bitwise*
+equality, not tolerance agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    Kernel,
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    SigmoidKernel,
+)
+from repro.sparse import CSRMatrix
+
+RNG = np.random.default_rng(3)
+DENSE_A = RNG.normal(size=(17, 9)) * (RNG.random((17, 9)) < 0.5)
+DENSE_B = RNG.normal(size=(11, 9)) * (RNG.random((11, 9)) < 0.5)
+DENSE_B[4] = 0.0  # an empty visiting row
+A = CSRMatrix.from_dense(DENSE_A)
+B = CSRMatrix.from_dense(DENSE_B)
+NORMS_A = A.row_norms_sq()
+NORMS_B = B.row_norms_sq()
+
+KERNELS = [
+    LinearKernel(),
+    RBFKernel(0.7),
+    PolynomialKernel(degree=3, gamma=0.5, coef0=1.0),
+    SigmoidKernel(gamma=0.2, coef0=-0.5),
+]
+
+
+def columns_via_row_path(kernel) -> np.ndarray:
+    out = np.empty((A.shape[0], B.shape[0]))
+    for j in range(B.shape[0]):
+        bi, bv = B.row(j)
+        out[:, j] = kernel.row_against_block(
+            A, NORMS_A, bi, bv, float(NORMS_B[j])
+        )
+    return out
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_block_bitwise_equals_row_path(kernel):
+    slab = kernel.block(A, NORMS_A, B, NORMS_B)
+    assert slab.shape == (A.shape[0], B.shape[0])
+    assert np.array_equal(slab, columns_via_row_path(kernel))
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+@pytest.mark.parametrize("tile_rows", [1, 2, 5, 64])
+def test_block_tiling_invariant(kernel, tile_rows):
+    assert np.array_equal(
+        kernel.block(A, NORMS_A, B, NORMS_B, tile_rows=tile_rows),
+        kernel.block(A, NORMS_A, B, NORMS_B),
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_diag_bitwise_equals_self_value(kernel):
+    expected = np.array([kernel.self_value(float(n)) for n in NORMS_A])
+    assert np.array_equal(kernel.diag(NORMS_A), expected)
+
+
+def test_diag_known_values():
+    assert np.array_equal(RBFKernel(1.3).diag(NORMS_A), np.ones(A.shape[0]))
+    assert np.array_equal(LinearKernel().diag(NORMS_A), NORMS_A)
+    poly = PolynomialKernel(degree=2, gamma=0.5, coef0=1.0)
+    assert np.allclose(poly.diag(NORMS_A), (0.5 * NORMS_A + 1.0) ** 2)
+
+
+class _NormSumKernel(Kernel):
+    """Toy norm-dependent kernel exercising the *base-class* block path
+    (no ``block_from_dots`` override)."""
+
+    name = "normsum"
+
+    def from_dots(self, dots, norms_a, norm_b):
+        return np.asarray(dots) + 0.125 * norms_a + 0.25 * norm_b
+
+
+def test_base_block_from_dots_broadcasts_correctly():
+    kernel = _NormSumKernel()
+    slab = kernel.block(A, NORMS_A, B, NORMS_B)
+    out = np.empty_like(slab)
+    for j in range(B.shape[0]):
+        bi, bv = B.row(j)
+        out[:, j] = kernel.row_against_block(
+            A, NORMS_A, bi, bv, float(NORMS_B[j])
+        )
+    assert np.array_equal(slab, out)
+    # the base-class vectorized diag honours norm dependence too
+    assert np.array_equal(
+        kernel.diag(NORMS_A),
+        np.array([kernel.self_value(float(n)) for n in NORMS_A]),
+    )
+
+
+def test_block_empty_operands():
+    kernel = RBFKernel(0.5)
+    empty = CSRMatrix.empty(A.shape[1])
+    no_norms = np.zeros(0)
+    assert kernel.block(A, NORMS_A, empty, no_norms).shape == (A.shape[0], 0)
+    assert kernel.block(empty, no_norms, B, NORMS_B).shape == (0, B.shape[0])
