@@ -137,8 +137,15 @@ def run_speedup_experiment(
     eps: float = 1e-3,
     max_iter: int = 2_000_000,
     paper_scale: bool = True,
+    faults=None,
 ) -> ExperimentResult:
-    """Run the full experiment for one dataset; see module docstring."""
+    """Run the full experiment for one dataset; see module docstring.
+
+    ``faults`` forwards a deterministic fault-injection plan (spec
+    string or :class:`~repro.mpi.faults.FaultPlan`) to every solver
+    run — completing runs are bitwise identical to fault-free ones, so
+    the figures are unchanged while the recovery paths get exercised.
+    """
     t_start = time.perf_counter()
     entry = get_entry(dataset)
     data = load_dataset(dataset, scale=scale)
@@ -152,6 +159,7 @@ def run_speedup_experiment(
     origin_fit = fit_parallel(
         data.X_train, data.y_train, params,
         heuristic="original", nprocs=measure_procs, machine=machine,
+        faults=faults,
     )
     paper_iters_est = (
         float(entry.facts.iterations)
@@ -174,6 +182,7 @@ def run_speedup_experiment(
         fits[h] = fit_parallel(
             data.X_train, data.y_train, params,
             heuristic=heur, nprocs=measure_procs, machine=machine,
+            faults=faults,
         )
     if "original" not in fits:
         fits["original"] = origin_fit
@@ -263,6 +272,7 @@ def run_accuracy_experiment(
     machine: Optional[MachineSpec] = None,
     eps: float = 1e-3,
     max_iter: int = 2_000_000,
+    faults=None,
 ) -> Dict[str, float]:
     """Table V row: test accuracy of the shrinking solver vs the
     libsvm-style baseline on the same train/test split."""
@@ -276,6 +286,7 @@ def run_accuracy_experiment(
     fr = fit_parallel(
         data.X_train, data.y_train, params,
         heuristic=heuristic, nprocs=nprocs, machine=machine,
+        faults=faults,
     )
     ours = fr.model.accuracy(data.X_test, data.y_test)
 

@@ -57,6 +57,10 @@ def _add_train(sub) -> None:
     p.add_argument("--nprocs", type=int, default=1)
     p.add_argument("--machine", default="cascade")
     p.add_argument("--max-iter", type=int, default=10_000_000)
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="deterministic fault-injection spec for the simulated "
+                        "runtime, e.g. 'seed=7;drop:src=0,dest=1,tag=3,nth=1' "
+                        "(kinds: delay drop dup corrupt stall kill)")
     p.add_argument("--model-out", help="write the trained model (JSON)")
 
 
@@ -109,11 +113,17 @@ def cmd_train(args) -> int:
         nprocs=args.nprocs,
         machine=_machine(args.machine),
         max_iter=args.max_iter,
+        faults=args.faults,
     )
     t0 = time.perf_counter()
     clf.fit(X_train, y_train)
     wall = time.perf_counter() - t0
 
+    fault_stats = clf.fit_result_.spmd.fault_stats
+    if fault_stats is not None:
+        fired = {k: v for k, v in fault_stats["stats"].items() if v}
+        print(f"fault injection: plan [{fault_stats['plan']}] "
+              f"fired {fired or 'nothing'}")
     stats = clf.fit_result_.stats
     trace = clf.fit_result_.trace
     print(

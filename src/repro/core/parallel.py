@@ -187,7 +187,18 @@ class RankSolver:
             )
 
     def _shrink_pass(self, viol: Violators) -> None:
-        """Eq. (9) elimination + the δ Allreduce (Alg. 4 lines 27-29)."""
+        """Eq. (9) elimination + the δ Allreduce (Alg. 4 lines 27-29).
+
+        The Allreduce happens *before* the mask is applied (same message
+        pattern and — in the normal case — same reduced value as folding
+        it afterwards): when an over-eager threshold would shrink the
+        *global* active set to empty, every rank sees ``delta == 0`` and
+        skips the elimination.  Without the guard the empty active
+        problem is trivially "converged", the solver reconstructs, the
+        bounds have not moved, and the shrink fires again — a
+        reconstruction loop that re-evaluates Θ(n·|α>0|) kernels per
+        lap without progressing.
+        """
         blk = self.blk
         idx, _, _ = blk.active_view()
         mask = shrinkable_mask(
@@ -195,13 +206,19 @@ class RankSolver:
             self.C[idx], viol.beta_up, viol.beta_low,
         )
         n_shrunk = int(np.count_nonzero(mask))
+        delta = self.comm.allreduce(blk.n_active - n_shrunk, SUM)
+        if delta == 0:
+            # every rank reaches the same global decision: keep the
+            # current active set and re-arm from the initial threshold
+            self.trace.shrink_iters.append(self.iterations)
+            self.trace.shrunk_per_event.append(0)
+            self.delta_c = max(1.0, self._initial_threshold)
+            return
         if n_shrunk:
             blk.active[idx[mask]] = False
             blk.invalidate_active()
         self.trace.shrink_iters.append(self.iterations)
         self.trace.shrunk_per_event.append(n_shrunk)
-        delta_new = blk.n_active
-        delta = self.comm.allreduce(delta_new, SUM)
         if self.heur.subsequent == "active_set":
             self.delta_c = max(1.0, float(delta))
         else:
@@ -289,7 +306,10 @@ class RankSolver:
         total, count = self.comm.allreduce(local, SUM)
         if count:
             return total / count
-        return 0.5 * (viol.beta_low + viol.beta_up)
+        mid = 0.5 * (viol.beta_low + viol.beta_up)
+        # no free SVs anywhere and one-sided (or empty) violator bounds:
+        # ±inf would poison every prediction with NaN
+        return mid if math.isfinite(mid) else 0.0
 
 
 def solve_rank(

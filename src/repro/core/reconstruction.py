@@ -26,17 +26,28 @@ formulation (see ``_fold_blocked``).
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional, Tuple
 
 import numpy as np
 
 from ..kernels import Kernel
+from ..mpi.errors import CorruptMessageError, MessageLostError, RingRecoveryError
 from ..sparse.csr import CSRMatrix
 from .state import LocalBlock
 from .trace import RankTrace, ReconEvent
 
-#: tag for ring traffic (engine uses 1 and 2 for working-set samples)
+#: base tag for ring traffic (engine uses 1 and 2 for working-set
+#: samples).  Step ``s`` of the ring uses ``TAG_RING + s``: sends are
+#: eager and a neighbor may run several steps ahead, so per-step tags
+#: keep matching unambiguous when a chunk is delayed, dropped or being
+#: re-requested — the receiver can never confuse the step-``s``
+#: retransmission with the step-``s+1`` chunk already queued behind it.
 TAG_RING = 3
+
+#: ring-level recovery attempts per step before giving up (each
+#: attempt re-requests the pristine chunk from the fault-engine ledger)
+RING_MAX_RETRIES = 3
 
 #: visiting-block rows folded per blocked step — bounds the dense kernel
 #: slab at FOLD_TILE_ROWS × |local shrunk set| doubles
@@ -49,13 +60,67 @@ FOLD_TILE_ROWS = 512
 DEFAULT_FOLD = "blocked"
 
 
-def _pack_contrib(blk: LocalBlock) -> Tuple[bytes, np.ndarray, np.ndarray]:
-    """This rank's ring payload: (CSR bytes, coefs α·y, row norms)."""
+def _chunk_crc(blob: bytes, coefs: np.ndarray, norms: np.ndarray) -> int:
+    """CRC32 over the chunk's three payload fields."""
+    crc = zlib.crc32(blob)
+    crc = zlib.crc32(np.ascontiguousarray(coefs).tobytes(), crc)
+    crc = zlib.crc32(np.ascontiguousarray(norms).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _pack_contrib(blk: LocalBlock) -> Tuple[bytes, np.ndarray, np.ndarray, int]:
+    """This rank's ring payload: (CSR bytes, coefs α·y, row norms, crc)."""
     contrib = np.flatnonzero(blk.alpha > 0)
     Xc = blk.X.take_rows(contrib)
     coefs = blk.alpha[contrib] * blk.y[contrib]
     norms = blk.norms[contrib]
-    return Xc.to_bytes(), coefs, norms
+    blob = Xc.to_bytes()
+    return blob, coefs, norms, _chunk_crc(blob, coefs, norms)
+
+
+def _verify_chunk(chunk, source: int) -> None:
+    """Integrity-check one visiting chunk against its carried CRC."""
+    if not (isinstance(chunk, tuple) and len(chunk) == 4):
+        raise CorruptMessageError(
+            f"ring chunk from rank {source} has malformed structure "
+            f"({type(chunk).__name__})"
+        )
+    blob, coefs, norms, crc = chunk
+    if _chunk_crc(blob, coefs, norms) != crc:
+        raise CorruptMessageError(
+            f"ring chunk from rank {source} failed CRC32 verification"
+        )
+
+
+def _ring_recv(comm, recv_req, source: int, tag: int, step: int):
+    """Complete one ring receive with integrity-checked recovery.
+
+    A chunk that fails deserialization or CRC verification is
+    re-requested from the left neighbor (via the fault-engine ledger —
+    the simulator's stand-in for a retransmit protocol) up to
+    :data:`RING_MAX_RETRIES` times.  Exhausted retries, or a chunk the
+    message layer reports as lost, raise a structured
+    :class:`~repro.mpi.errors.RingRecoveryError` naming the rank, tag
+    and ring step.
+    """
+    attempts = 0
+    req = recv_req
+    while True:
+        try:
+            chunk = req.wait()
+            _verify_chunk(chunk, source)
+            return chunk
+        except CorruptMessageError as exc:
+            attempts += 1
+            if attempts > RING_MAX_RETRIES or not comm.rerequest(source, tag):
+                raise RingRecoveryError(
+                    comm.rank, tag, step, attempts, exc
+                ) from exc
+            req = comm.irecv(source=source, tag=tag)
+        except MessageLostError as exc:
+            raise RingRecoveryError(
+                comm.rank, tag, step, attempts, exc
+            ) from exc
 
 
 def _fold_rowwise(
@@ -118,11 +183,11 @@ def _apply_chunk(
     X_shrunk: CSRMatrix,
     norms_shrunk: np.ndarray,
     accum: np.ndarray,
-    chunk: Tuple[bytes, np.ndarray, np.ndarray],
+    chunk: Tuple[bytes, np.ndarray, np.ndarray, int],
     fold: Optional[str] = None,
 ) -> int:
     """Fold one visiting block into the partial gradients; returns #evals."""
-    blob, coefs, norms = chunk
+    blob, coefs, norms = chunk[0], chunk[1], chunk[2]
     if accum.size == 0 or coefs.size == 0:
         return 0
     Xc = CSRMatrix.from_bytes(blob)
@@ -185,10 +250,11 @@ def gradient_reconstruction(
         else:
             evals += _apply_chunk(kernel, X_shr, norms_shr, accum, chunk, fold)
         if step < p - 1:
-            recv_req = comm.irecv(source=left, tag=TAG_RING)
-            send_req = comm.isend(chunk, right, tag=TAG_RING)
+            tag = TAG_RING + step
+            recv_req = comm.irecv(source=left, tag=tag)
+            send_req = comm.isend(chunk, right, tag=tag)
             bytes_sent += len(chunk[0]) + chunk[1].nbytes + chunk[2].nbytes
-            chunk = recv_req.wait()
+            chunk = _ring_recv(comm, recv_req, left, tag, step)
             send_req.wait()
     if deterministic:
         for src in range(p):

@@ -59,8 +59,13 @@ def fit_parallel(
     machine: Optional[MachineSpec] = None,
     deadlock_timeout: float = 120.0,
     warm_start_alpha: Optional[np.ndarray] = None,
+    faults=None,
 ) -> FitResult:
     """Train with the distributed solver on ``nprocs`` simulated ranks.
+
+    ``nprocs`` may exceed the sample count: surplus ranks own zero rows
+    and participate only in collectives and the reconstruction ring,
+    matching what a real over-provisioned MPI job does.
 
     ``warm_start_alpha`` seeds the solve from a previous dual solution
     (same samples and kernel — e.g. re-fitting after a small C change,
@@ -68,6 +73,12 @@ def fit_parallel(
     are rebuilt from the seed with one gradient-reconstruction ring, so
     warm starting costs O(|{α>0}|·N/p) once instead of re-running the
     full iteration history.
+
+    ``faults`` injects a deterministic adversarial delivery schedule
+    into the simulated runtime (a
+    :class:`~repro.mpi.faults.FaultPlan`, spec string, or fault
+    sequence).  A fit that completes under injection returns a model
+    bitwise identical to the fault-free fit.
     """
     if not isinstance(X, CSRMatrix):
         X = CSRMatrix.from_dense(np.asarray(X, dtype=np.float64))
@@ -81,8 +92,6 @@ def fit_parallel(
         raise ValueError("labels must be +1/-1 (use repro.core.SVC for raw labels)")
     if nprocs < 1:
         raise ValueError(f"nprocs must be >= 1, got {nprocs}")
-    if nprocs > n:
-        raise ValueError(f"nprocs={nprocs} exceeds sample count {n}")
     heur = get_heuristic(heuristic)
 
     part = BlockPartition(n, nprocs)
@@ -117,7 +126,8 @@ def fit_parallel(
 
     t0 = time.perf_counter()
     spmd = run_spmd(
-        entry, nprocs, machine=machine, deadlock_timeout=deadlock_timeout
+        entry, nprocs, machine=machine, deadlock_timeout=deadlock_timeout,
+        faults=faults,
     )
     wall = time.perf_counter() - t0
     results: List[RankResult] = spmd.results

@@ -57,6 +57,12 @@ class SVC:
         ``None`` (unweighted), a ``{label: weight}`` dict in the
         original label space, or ``"balanced"`` (weights inversely
         proportional to class frequencies, as in sklearn/libsvm).
+    faults:
+        Deterministic fault-injection plan for the simulated runtime
+        (a :class:`~repro.mpi.faults.FaultPlan` or its spec string,
+        e.g. ``"seed=7;drop:src=0,dest=1,tag=3,nth=1"``).  A fit that
+        completes under injection is bitwise identical to the
+        fault-free fit.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class SVC:
         max_iter: int = 10_000_000,
         shrink_eps_factor: float = 10.0,
         class_weight: Optional[Union[dict, str]] = None,
+        faults=None,
     ) -> None:
         if gamma is not None and sigma_sq is not None:
             raise ValueError("give either gamma or sigma_sq, not both")
@@ -86,6 +93,7 @@ class SVC:
         self.max_iter = max_iter
         self.shrink_eps_factor = shrink_eps_factor
         self.class_weight = class_weight
+        self.faults = faults
 
         self.model_ = None
         self.fit_result_: Optional[FitResult] = None
@@ -163,6 +171,7 @@ class SVC:
             heuristic=get_heuristic(self.heuristic),
             nprocs=self.nprocs,
             machine=self.machine,
+            faults=self.faults,
         )
         self.model_ = self.fit_result_.model
         return self
@@ -230,6 +239,7 @@ class SVC:
             "max_iter": self.max_iter,
             "shrink_eps_factor": self.shrink_eps_factor,
             "class_weight": self.class_weight,
+            "faults": self.faults,
         }
 
     def set_params(self, **kwargs) -> "SVC":

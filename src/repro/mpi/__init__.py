@@ -25,13 +25,19 @@ from .communicator import IN_PLACE, Comm
 from .datatypes import ANY_SOURCE, ANY_TAG, TAG_UB
 from .errors import (
     CommError,
+    CorruptMessageError,
     DeadlockError,
+    FaultInjectionError,
+    InjectedFault,
+    MessageLostError,
     MpiError,
     RankError,
+    RingRecoveryError,
     SpmdAborted,
     SpmdJobError,
     TruncationError,
 )
+from .faults import Fault, FaultEngine, FaultPlan, RetryPolicy
 from .reduceops import (
     BAND,
     BOR,
@@ -58,18 +64,27 @@ __all__ = [
     "ClockStats",
     "Comm",
     "CommError",
+    "CorruptMessageError",
     "DeadlockError",
+    "Fault",
+    "FaultEngine",
+    "FaultInjectionError",
+    "FaultPlan",
     "IN_PLACE",
+    "InjectedFault",
     "LAND",
     "LOR",
     "MAX",
     "MAXLOC",
+    "MessageLostError",
     "MIN",
     "MINLOC",
     "MpiError",
     "PROD",
     "RankError",
     "RankStats",
+    "RetryPolicy",
+    "RingRecoveryError",
     "ReduceOp",
     "Request",
     "SpmdAborted",

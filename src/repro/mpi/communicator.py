@@ -107,9 +107,16 @@ class Comm:
     # point-to-point: internal
     # ------------------------------------------------------------------
     def _deliver(self, env: Envelope) -> None:
-        self._runtime.mailboxes[env.dest].put(env)
+        self._runtime.deliver(env)
+
+    def _before_send(self) -> None:
+        """Fault-engine send hook (stall/kill progress marks)."""
+        engine = self._runtime.faults
+        if engine is not None:
+            engine.before_send(self._global(self._rank))
 
     def _post_send_typed(self, arr: np.ndarray, dest: int, tag: int) -> None:
+        self._before_send()
         t0 = self._clock.now
         self._clock.advance(self._machine.send_overhead, kind="comm")
         env = Envelope.from_array(
@@ -122,6 +129,7 @@ class Comm:
         )
 
     def _post_send_object(self, obj: Any, dest: int, tag: int) -> None:
+        self._before_send()
         t0 = self._clock.now
         self._clock.advance(self._machine.send_overhead, kind="comm")
         env = Envelope.from_object(
@@ -243,6 +251,26 @@ class Comm:
         return (
             self._mailbox.probe(source, tag, self._context) is not None
         )
+
+    def rerequest(self, source: int, tag: int) -> bool:
+        """Ask the fault engine to retransmit a withheld message.
+
+        Integrity-checking protocols (the reconstruction ring) call this
+        after detecting a corrupt payload; the pristine envelope — if the
+        engine ledgered one — is re-injected into this rank's mailbox.
+        Returns False when no fault engine is installed or nothing
+        matching is recoverable.
+        """
+        engine = self._runtime.faults
+        if engine is None:
+            return False
+        env = engine.re_request(
+            self._global(self._rank), source, tag, self._context
+        )
+        if env is None:
+            return False
+        self._mailbox.put(env)
+        return True
 
     # ------------------------------------------------------------------
     # internal tag allocation for collectives

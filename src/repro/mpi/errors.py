@@ -32,7 +32,92 @@ class TagError(CommError):
 
 
 class DeadlockError(MpiError):
-    """The runtime watchdog detected no progress while ranks are blocked."""
+    """The runtime watchdog detected no progress while ranks are blocked.
+
+    Attributes
+    ----------
+    diagnostics:
+        Optional mapping ``rank -> human-readable blocked-state line``
+        (what each live rank was waiting for when the watchdog fired).
+    """
+
+    def __init__(self, message: str, diagnostics: dict | None = None):
+        self.diagnostics = dict(diagnostics or {})
+        if self.diagnostics:
+            detail = "; ".join(
+                f"rank {r}: {s}" for r, s in sorted(self.diagnostics.items())
+            )
+            message = f"{message} [{detail}]"
+        super().__init__(message)
+
+
+class CorruptMessageError(CommError):
+    """A received payload failed integrity verification (bad pickle or
+    checksum mismatch).  Recoverable when a fault engine holds the
+    pristine copy — see :meth:`repro.mpi.communicator.Comm.rerequest`."""
+
+
+class FaultInjectionError(MpiError):
+    """Base class for errors originating in the fault-injection layer."""
+
+
+class InjectedFault(FaultInjectionError):
+    """A ``kill`` fault fired inside a rank (simulated process death).
+
+    Attributes: ``rank`` (the killed rank), ``after`` (the send ordinal
+    at which the fault triggered).
+    """
+
+    def __init__(self, rank: int, after: int):
+        self.rank = rank
+        self.after = after
+        super().__init__(
+            f"injected fault: rank {rank} killed after {after} send(s)"
+        )
+
+
+class MessageLostError(FaultInjectionError):
+    """A receive exhausted its retry budget without a matching message.
+
+    Carries the structured context the ISSUE requires: the waiting rank,
+    the expected source and tag, and the number of re-request attempts.
+    """
+
+    def __init__(
+        self, rank: int, source: int | None, tag: int | None, attempts: int
+    ):
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.attempts = attempts
+        src = "ANY" if source is None or source < 0 else source
+        tg = "ANY" if tag is None or tag < 0 else tag
+        super().__init__(
+            f"rank {rank}: message from src={src} tag={tg} lost after "
+            f"{attempts} retry attempt(s)"
+        )
+
+
+class RingRecoveryError(FaultInjectionError):
+    """Gradient-reconstruction ring recovery gave up on a visiting block.
+
+    Attributes: ``rank``, ``tag``, ``step`` (ring step), ``attempts``.
+    """
+
+    def __init__(
+        self, rank: int, tag: int, step: int, attempts: int,
+        cause: BaseException | None = None,
+    ):
+        self.rank = rank
+        self.tag = tag
+        self.step = step
+        self.attempts = attempts
+        self.cause = cause
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"rank {rank}: ring recovery failed at step {step} "
+            f"(tag {tag}) after {attempts} attempt(s){detail}"
+        )
 
 
 class SpmdAborted(MpiError):

@@ -1,0 +1,498 @@
+"""Deterministic fault injection for the simulated MPI runtime.
+
+A :class:`FaultPlan` describes an adversarial delivery schedule: which
+messages to delay, drop, duplicate or corrupt (matched by source /
+destination / tag / per-stream ordinal), and which ranks to stall or
+kill at a chosen progress mark (their n-th posted send).  The plan is
+seeded and all decisions are functions of deterministic per-fault
+counters, so the same plan reproduces the same schedule run after run.
+
+The :class:`FaultEngine` is the runtime-side interpreter.  It sits on
+the delivery path (``SpmdRuntime.deliver``) and on receive timeouts
+(:meth:`Mailbox.take`):
+
+- *delay* shifts an envelope's virtual departure time (the modeled
+  machine was slow) — virtual time changes, payloads do not;
+- *drop* diverts the envelope to a per-destination ledger instead of
+  the mailbox.  The receiver's bounded retry/backoff loop re-requests
+  it (``re_request``), modeling receiver-driven retransmission.  A
+  re-injected envelope keeps its original departure stamp, so a run
+  that completes under drops is bitwise identical — virtual times
+  included — to the fault-free run;
+- *dup* delivers the same envelope twice; the mailbox discards the
+  duplicate by sequence number;
+- *corrupt* delivers a tampered copy and stashes the pristine envelope
+  in the ledger, so integrity-checking receivers (the reconstruction
+  ring verifies a per-chunk checksum) can recover it via
+  :meth:`re_request`;
+- *stall* blocks the rank's thread in host time before its n-th send
+  (exercising peers' retry paths and the watchdog); *kill* raises
+  :class:`~repro.mpi.errors.InjectedFault` inside the rank, aborting
+  the job with a structured :class:`~repro.mpi.errors.SpmdJobError`.
+
+Invariant (asserted by the fault-matrix tests): any run that
+*completes* under fault injection produces bitwise-identical results
+to the fault-free run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import InjectedFault
+from .message import Envelope, next_seq
+
+#: fault kinds understood by the engine
+KINDS = ("delay", "drop", "dup", "corrupt", "stall", "kill")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry/backoff schedule for blocked receives.
+
+    A receive waits ``timeout`` host seconds, re-requests, then waits
+    ``timeout * backoff``, and so on, up to ``max_retries`` re-request
+    attempts before raising
+    :class:`~repro.mpi.errors.MessageLostError`.  Only active while a
+    fault engine is installed; fault-free jobs keep the plain blocking
+    behaviour (the watchdog covers genuine deadlocks).
+    """
+
+    timeout: float = 0.25
+    backoff: float = 2.0
+    max_retries: int = 6
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"retry timeout must be positive, got {self.timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"retry backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 1:
+            raise ValueError(f"need at least one retry, got {self.max_retries}")
+
+    def budget(self, attempt: int) -> float:
+        """Host-seconds to wait before re-request number ``attempt`` (1-based)."""
+        return self.timeout * self.backoff ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault.
+
+    Message faults (``delay``/``drop``/``dup``/``corrupt``) match
+    envelopes by ``src``/``dest``/``tag`` (``None`` = wildcard) and
+    fire on the ``nth`` matching message (1-based; ``None`` = every
+    match, subject to ``prob``).  ``count`` is how many delivery
+    attempts a ``drop`` suppresses (1 = the eager send only; the first
+    re-request succeeds).  Rank faults (``stall``/``kill``) trigger
+    when ``rank`` posts its ``after``-th send.
+    """
+
+    kind: str
+    src: Optional[int] = None
+    dest: Optional[int] = None
+    tag: Optional[int] = None
+    #: 1-based ordinal *within each (src, dest) stream*.  Streams are
+    #: counted separately because only the per-stream order (the
+    #: sender's program order) is deterministic — a global ordinal
+    #: would depend on how the host scheduler interleaves sender
+    #: threads, breaking same-seed-same-schedule reproducibility.
+    nth: Optional[int] = None
+    count: int = 1
+    seconds: float = 0.0
+    prob: float = 1.0
+    rank: Optional[int] = None
+    after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if self.kind in ("stall", "kill") and self.rank is None:
+            raise ValueError(f"{self.kind} fault requires rank=")
+        if self.count < 1:
+            raise ValueError(f"drop count must be >= 1, got {self.count}")
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches_message(self, env: Envelope) -> bool:
+        if self.kind in ("stall", "kill"):
+            return False
+        if self.src is not None and env.src != self.src:
+            return False
+        if self.dest is not None and env.dest != self.dest:
+            return False
+        if self.tag is not None and env.tag != self.tag:
+            return False
+        return True
+
+
+def _parse_int(v: str) -> Optional[int]:
+    return None if v in ("*", "any") else int(v)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic set of faults plus the retry policy.
+
+    Build programmatically::
+
+        FaultPlan(faults=(Fault("drop", src=0, dest=1, tag=3, nth=1),),
+                  seed=7)
+
+    or parse the CLI/bench spec grammar — semicolon-separated clauses,
+    each ``kind:key=value,...``::
+
+        "seed=7;retry:timeout=0.1,max=4;drop:src=0,dest=1,tag=3,nth=1"
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        seed = 0
+        retry_kwargs: Dict[str, Any] = {}
+        faults: List[Fault] = []
+        for raw in spec.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[5:])
+                continue
+            if ":" not in clause:
+                raise ValueError(
+                    f"bad fault clause {clause!r}: expected 'kind:key=val,...'"
+                )
+            kind, _, body = clause.partition(":")
+            kind = kind.strip()
+            kv: Dict[str, str] = {}
+            for item in body.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                k, _, v = item.partition("=")
+                kv[k.strip()] = v.strip()
+            if kind == "retry":
+                if "timeout" in kv:
+                    retry_kwargs["timeout"] = float(kv["timeout"])
+                if "backoff" in kv:
+                    retry_kwargs["backoff"] = float(kv["backoff"])
+                if "max" in kv:
+                    retry_kwargs["max_retries"] = int(kv["max"])
+                continue
+            fault = Fault(
+                kind=kind,
+                src=_parse_int(kv["src"]) if "src" in kv else None,
+                dest=_parse_int(kv["dest"]) if "dest" in kv else None,
+                tag=_parse_int(kv["tag"]) if "tag" in kv else None,
+                nth=int(kv["nth"]) if "nth" in kv else None,
+                count=int(kv["count"]) if "count" in kv else 1,
+                seconds=float(kv["seconds"]) if "seconds" in kv else 0.0,
+                prob=float(kv["prob"]) if "prob" in kv else 1.0,
+                rank=int(kv["rank"]) if "rank" in kv else None,
+                after=int(kv["after"]) if "after" in kv else 1,
+            )
+            faults.append(fault)
+        return cls(
+            faults=tuple(faults), seed=seed, retry=RetryPolicy(**retry_kwargs)
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for f in self.faults:
+            keys = ("src", "dest", "tag", "nth", "count", "seconds", "prob",
+                    "rank", "after")
+            defaults = Fault(kind=f.kind, rank=f.rank)
+            kv = ",".join(
+                f"{k}={getattr(f, k)}"
+                for k in keys
+                if getattr(f, k) != getattr(defaults, k)
+            )
+            parts.append(f"{f.kind}:{kv}" if kv else f.kind)
+        return ";".join(parts)
+
+
+def _tamper(obj: Any, rng: np.random.Generator) -> Tuple[Any, bool]:
+    """Deterministically corrupt the first tamper-able element of a
+    payload; returns ``(tampered, changed)``.  Containers are walked
+    recursively so a pickled ``(bytes, ndarray, ndarray, crc)`` ring
+    chunk gets one flipped byte, not an invalid pickle."""
+    if isinstance(obj, np.ndarray) and obj.size:
+        out = obj.copy()
+        flat = out.reshape(-1).view(np.uint8)
+        flat[int(rng.integers(flat.size))] ^= 0xFF
+        return out, True
+    if isinstance(obj, (bytes, bytearray)) and len(obj):
+        out = bytearray(obj)
+        out[int(rng.integers(len(out)))] ^= 0xFF
+        return bytes(out), True
+    if isinstance(obj, (tuple, list)):
+        items = list(obj)
+        for i, item in enumerate(items):
+            tampered, changed = _tamper(item, rng)
+            if changed:
+                items[i] = tampered
+                return (tuple(items) if isinstance(obj, tuple) else items), True
+    return obj, False
+
+
+class _FaultState:
+    """Mutable per-fault bookkeeping (the Fault itself stays frozen).
+
+    Match counters and RNG draws are keyed by (src, dest) stream: the
+    order of envelopes *within* a stream is the sender's program order
+    and therefore deterministic, while the interleaving *across*
+    streams is host-scheduler noise that must not influence decisions.
+    """
+
+    __slots__ = ("fault", "matched", "fired", "_seed", "_index", "_rngs")
+
+    def __init__(self, fault: Fault, seed: int, index: int):
+        self.fault = fault
+        self.matched: Dict[Tuple[int, int], int] = {}  # stream -> count
+        self.fired = 0  # times the fault actually triggered
+        self._seed = seed
+        self._index = index
+        self._rngs: Dict[Tuple[int, int], np.random.Generator] = {}
+
+    def stream_rng(self, env: Envelope) -> np.random.Generator:
+        key = (env.src, env.dest)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = np.random.default_rng(
+                (self._seed, self._index, env.src, env.dest)
+            )
+            self._rngs[key] = rng
+        return rng
+
+    def ordinal(self, env: Envelope) -> int:
+        return self.matched.get((env.src, env.dest), 0)
+
+    def should_fire(self, env: Envelope) -> bool:
+        f = self.fault
+        key = (env.src, env.dest)
+        count = self.matched.get(key, 0) + 1
+        self.matched[key] = count
+        if f.nth is not None and count != f.nth:
+            return False
+        if f.prob < 1.0 and float(self.stream_rng(env).random()) >= f.prob:
+            return False
+        self.fired += 1
+        return True
+
+
+class _LedgerEntry:
+    """A withheld envelope awaiting receiver-driven retransmission."""
+
+    __slots__ = ("env", "remaining")
+
+    def __init__(self, env: Envelope, remaining: int):
+        self.env = env
+        self.remaining = remaining  # re-requests still to suppress
+
+
+class FaultEngine:
+    """Thread-safe interpreter of one :class:`FaultPlan` for one job.
+
+    Locking discipline: the engine lock is *never* held while calling
+    into a mailbox (delivery decisions are computed under the lock,
+    applied outside), so the mailbox-lock -> engine-lock order taken by
+    retrying receivers cannot deadlock against the send path.
+    """
+
+    def __init__(self, plan: FaultPlan, nprocs: int, tracer=None):
+        self.plan = plan
+        self.policy = plan.retry
+        self.nprocs = nprocs
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        self._states = [
+            _FaultState(f, plan.seed, i) for i, f in enumerate(plan.faults)
+        ]
+        self._message_states = [
+            st for st in self._states if st.fault.kind not in ("stall", "kill")
+        ]
+        self._rank_states = [
+            st for st in self._states if st.fault.kind in ("stall", "kill")
+        ]
+        #: True when the plan can ever withhold or re-deliver a message;
+        #: mailboxes skip duplicate tracking otherwise
+        self.needs_dedup = any(
+            st.fault.kind in ("drop", "dup", "corrupt")
+            for st in self._message_states
+        )
+        self._ledger: Dict[int, List[_LedgerEntry]] = {
+            r: [] for r in range(nprocs)
+        }
+        self._sends: Dict[int, int] = {r: 0 for r in range(nprocs)}
+        #: counters published in SpmdResult.fault_stats
+        self.stats: Dict[str, int] = {
+            "delayed": 0, "dropped": 0, "duplicated": 0, "corrupted": 0,
+            "stalled": 0, "killed": 0, "retransmitted": 0,
+            "retries": 0, "dup_discarded": 0,
+        }
+        #: deterministic record of fired message faults, for the
+        #: same-seed-same-schedule tests: (kind, src, dest, tag, ordinal)
+        self.schedule: List[Tuple[str, int, int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # send-side hooks
+    # ------------------------------------------------------------------
+    def before_send(self, rank: int) -> None:
+        """Stall/kill hook: called by the communicator before a send."""
+        if not self._rank_states:  # fast path: no rank faults scheduled
+            return
+        stall_for = 0.0
+        with self._lock:
+            self._sends[rank] += 1
+            ordinal = self._sends[rank]
+            for st in self._rank_states:
+                f = st.fault
+                if f.rank != rank:
+                    continue
+                if ordinal != f.after:
+                    continue
+                st.fired += 1
+                if f.kind == "kill":
+                    self.stats["killed"] += 1
+                    raise InjectedFault(rank, ordinal)
+                self.stats["stalled"] += 1
+                stall_for = max(stall_for, f.seconds)
+        if stall_for > 0.0:
+            time.sleep(stall_for)  # host time only; virtual clock untouched
+
+    # ------------------------------------------------------------------
+    # delivery-side hook
+    # ------------------------------------------------------------------
+    def route(self, env: Envelope) -> List[Envelope]:
+        """Decide the fate of one envelope; returns what to deliver now."""
+        if not self._message_states:  # fast path: no message faults
+            return [env]
+        with self._lock:
+            for st in self._message_states:
+                f = st.fault
+                if not f.matches_message(env):
+                    continue
+                if not st.should_fire(env):
+                    continue
+                self.schedule.append((f.kind, env.src, env.dest, env.tag,
+                                      st.ordinal(env)))
+                self._trace(f.kind, env)
+                if f.kind == "delay":
+                    self.stats["delayed"] += 1
+                    return [replace(env, depart_time=env.depart_time + f.seconds)]
+                if f.kind == "drop":
+                    self.stats["dropped"] += 1
+                    self._ledger[env.dest].append(
+                        _LedgerEntry(env, remaining=f.count - 1)
+                    )
+                    return []
+                if f.kind == "dup":
+                    self.stats["duplicated"] += 1
+                    return [env, env]
+                if f.kind == "corrupt":
+                    self.stats["corrupted"] += 1
+                    self._ledger[env.dest].append(_LedgerEntry(env, remaining=0))
+                    return [self._corrupted(env, st.stream_rng(env))]
+        return [env]
+
+    def _corrupted(self, env: Envelope, rng: np.random.Generator) -> Envelope:
+        # the tampered copy gets its own sequence number: it must not
+        # shadow the pristine original in the duplicate-discard layer
+        if env.typed:
+            tampered, _ = _tamper(env.payload, rng)
+            return replace(env, payload=tampered, seq=next_seq())
+        try:
+            obj = pickle.loads(env.payload)
+            tampered, changed = _tamper(obj, rng)
+            if changed:
+                blob = pickle.dumps(tampered, protocol=pickle.HIGHEST_PROTOCOL)
+                if len(blob) == len(env.payload):
+                    return replace(env, payload=blob, seq=next_seq())
+        except Exception:  # pragma: no cover - defensive
+            pass
+        # fallback: flip a raw byte of the pickle stream (the receiver
+        # sees CorruptMessageError from unpickle instead of a checksum
+        # mismatch — both feed the same recovery path)
+        blob, _ = _tamper(bytes(env.payload), rng)
+        return replace(env, payload=blob, seq=next_seq())
+
+    # ------------------------------------------------------------------
+    # receiver-driven recovery
+    # ------------------------------------------------------------------
+    def re_request(
+        self,
+        dest: int,
+        src: Optional[int],
+        tag: Optional[int],
+        context: int,
+    ) -> Optional[Envelope]:
+        """A timed-out receiver asks for a withheld matching envelope.
+
+        Returns the pristine envelope when one is due for
+        retransmission (the caller delivers it), ``None`` when nothing
+        matching is ledgered or the fault still suppresses it.
+        """
+        with self._lock:
+            self.stats["retries"] += 1
+            entries = self._ledger[dest]
+            for i, entry in enumerate(entries):
+                if not entry.env.matches(src, tag, context):
+                    continue
+                if entry.remaining > 0:
+                    entry.remaining -= 1
+                    return None
+                del entries[i]
+                self.stats["retransmitted"] += 1
+                self._trace("retransmit", entry.env)
+                # original depart stamp: retransmission is a host-level
+                # artifact, invisible to the modeled machine
+                return entry.env
+        return None
+
+    def note_duplicate(self, env: Envelope) -> None:
+        with self._lock:
+            self.stats["dup_discarded"] += 1
+            self._trace("dup_discard", env)
+
+    def _trace(self, op: str, env: Envelope) -> None:
+        if self._tracer is not None:
+            self._tracer.record(
+                env.src, "fault", op, env.dest, env.nbytes,
+                env.depart_time, env.depart_time,
+            )
+
+    def report(self) -> Dict[str, Any]:
+        """Snapshot of counters + the deterministic fired-fault schedule."""
+        with self._lock:
+            return {
+                "plan": self.plan.describe(),
+                "stats": dict(self.stats),
+                "schedule": sorted(self.schedule),
+            }
+
+
+def as_plan(faults) -> Optional[FaultPlan]:
+    """Coerce ``None`` | spec-string | :class:`FaultPlan` to a plan."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, str):
+        return FaultPlan.parse(faults)
+    if isinstance(faults, Sequence):
+        return FaultPlan(faults=tuple(faults))
+    raise TypeError(
+        f"faults must be a FaultPlan, spec string or fault sequence, "
+        f"got {type(faults).__name__}"
+    )

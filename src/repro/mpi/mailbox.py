@@ -7,15 +7,32 @@ the earliest deposited one is matched first.
 
 Mailbox waits poll an abort event so that when any rank raises, peers
 blocked in communication are promptly woken with :class:`SpmdAborted`.
+
+When a fault engine is installed (see :mod:`repro.mpi.faults`) the
+mailbox grows two responsibilities:
+
+- *bounded retry/backoff*: a blocked ``take`` waits the engine policy's
+  timeout, re-requests a withheld envelope from the engine's ledger
+  (receiver-driven retransmission), doubles the wait, and after
+  ``max_retries`` attempts raises a structured
+  :class:`~repro.mpi.errors.MessageLostError` instead of hanging into
+  the 60 s job watchdog;
+- *duplicate discard*: envelopes are tracked by sequence number and a
+  re-delivery of an already-seen envelope (the ``dup`` fault) is
+  dropped, preserving exactly-once matching.
+
+Both are dormant on fault-free jobs — no seen-set is kept and waits
+block indefinitely, exactly the pre-fault-layer behaviour.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Optional, Set, Tuple
 
-from .errors import SpmdAborted
+from .errors import MessageLostError, SpmdAborted
 from .message import Envelope
 
 #: How often blocked receivers re-check the job abort flag (host seconds).
@@ -25,17 +42,32 @@ _POLL_INTERVAL = 0.05
 class Mailbox:
     """Thread-safe matched queue of in-flight messages for one rank."""
 
-    def __init__(self, rank: int, abort_event: threading.Event):
+    def __init__(self, rank: int, abort_event: threading.Event, engine=None):
         self.rank = rank
         self._abort = abort_event
+        self._engine = engine
         self._cond = threading.Condition()
         self._queue: Deque[Envelope] = deque()
         #: total envelopes ever delivered; the watchdog uses this to
         #: distinguish deadlock from slow progress.
         self.delivered = 0
+        #: sequence numbers already delivered (duplicate discard); only
+        #: maintained when the fault plan can withhold or re-deliver
+        #: messages, keeping the fault-free hot path allocation-free.
+        self._seen: Optional[Set[int]] = (
+            set() if engine is not None and engine.needs_dedup else None
+        )
+        #: (src, tag, context, host-monotonic start) of the receive this
+        #: rank is currently blocked in, for watchdog diagnostics.
+        self._waiting: Optional[Tuple[Optional[int], Optional[int], int, float]] = None
 
     def put(self, env: Envelope) -> None:
         with self._cond:
+            if self._seen is not None:
+                if env.seq in self._seen:
+                    self._engine.note_duplicate(env)
+                    return
+                self._seen.add(env.seq)
             self._queue.append(env)
             self.delivered += 1
             self._cond.notify_all()
@@ -59,31 +91,78 @@ class Mailbox:
         context: int,
         *,
         block: bool = True,
+        policy=None,
     ) -> Optional[Envelope]:
         """Remove and return the first matching envelope.
 
         Blocks until one arrives when ``block`` is true.  Raises
         :class:`SpmdAborted` if the job was cancelled while waiting.
+        Under fault injection, waits follow the bounded retry/backoff
+        schedule of ``policy`` (default: the engine's policy) and raise
+        :class:`MessageLostError` once the budget is exhausted.
         """
-        with self._cond:
+        engine = self._engine
+        if engine is not None and policy is None:
+            policy = engine.policy
+        attempt = 0
+        started = time.monotonic()
+        budget = policy.budget(1) if policy is not None else None
+        try:
             while True:
-                if self._abort.is_set():
-                    raise SpmdAborted(
-                        f"rank {self.rank}: job aborted while waiting for a message"
-                    )
-                i = self._find(src, tag, context)
-                if i is not None:
-                    env = self._queue[i]
-                    del self._queue[i]
-                    return env
-                if not block:
-                    return None
-                self._cond.wait(timeout=_POLL_INTERVAL)
+                with self._cond:
+                    if self._waiting is None and block:
+                        self._waiting = (src, tag, context, started)
+                    if self._abort.is_set():
+                        raise SpmdAborted(
+                            f"rank {self.rank}: job aborted while waiting "
+                            f"for a message"
+                        )
+                    i = self._find(src, tag, context)
+                    if i is not None:
+                        env = self._queue[i]
+                        del self._queue[i]
+                        return env
+                    if not block:
+                        return None
+                    self._cond.wait(timeout=_POLL_INTERVAL)
+                    if engine is None:
+                        continue
+                    waited = time.monotonic() - started
+                    if waited < budget:
+                        continue
+                # timed out: re-request outside the mailbox lock (the
+                # engine must never be entered while a mailbox lock is
+                # held by another path — see FaultEngine locking notes)
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise MessageLostError(self.rank, src, tag, attempt - 1)
+                recovered = engine.re_request(self.rank, src, tag, context)
+                if recovered is not None:
+                    self.put(recovered)
+                started = time.monotonic()
+                budget = policy.budget(attempt + 1)
+        finally:
+            with self._cond:
+                self._waiting = None
 
     def wake(self) -> None:
         """Wake any blocked waiters (used on abort)."""
         with self._cond:
             self._cond.notify_all()
+
+    def wait_state(self) -> Optional[str]:
+        """Human-readable description of the receive this rank is
+        blocked in, or ``None`` when it is not blocked (diagnostics)."""
+        with self._cond:
+            if self._waiting is None:
+                return None
+            src, tag, context, since = self._waiting
+            fmt = lambda v: "ANY" if v is None or v < 0 else str(v)  # noqa: E731
+            return (
+                f"blocked in recv(src={fmt(src)}, tag={fmt(tag)}, "
+                f"ctx={context}) for {time.monotonic() - since:.1f}s "
+                f"({len(self._queue)} unmatched queued)"
+            )
 
     def __len__(self) -> int:  # pragma: no cover - debugging aid
         with self._cond:

@@ -19,6 +19,17 @@ import numpy as np
 _seq = itertools.count()
 
 
+def next_seq() -> int:
+    """A fresh globally-unique message sequence number.
+
+    Used by the fault engine when it forges a tampered copy of an
+    envelope: the copy needs its own identity so that the receiver's
+    duplicate-discard layer does not confuse the later retransmission
+    of the pristine original with a duplicate delivery.
+    """
+    return next(_seq)
+
+
 @dataclass
 class Envelope:
     """One message travelling between two ranks of a communicator."""
@@ -79,7 +90,15 @@ class Envelope:
 
     def unpickle(self) -> Any:
         assert not self.typed
-        return pickle.loads(self.payload)
+        try:
+            return pickle.loads(self.payload)
+        except Exception as exc:
+            from .errors import CorruptMessageError
+
+            raise CorruptMessageError(
+                f"payload from rank {self.src} (tag {self.tag}, "
+                f"{self.nbytes} bytes) failed to deserialize: {exc}"
+            ) from exc
 
     def matches(self, src: Optional[int], tag: Optional[int], context: int) -> bool:
         """MPI matching rule with wildcard support (-1 = any)."""

@@ -5,6 +5,12 @@ time, so an ``Isend`` is complete immediately and its ``wait`` never
 blocks.  Receives complete when a matching envelope is taken from the
 mailbox; completion synchronizes the rank's virtual clock with the modeled
 arrival time of the message.
+
+Under fault injection a blocked ``wait`` follows the mailbox's bounded
+retry/backoff schedule (see :class:`repro.mpi.faults.RetryPolicy`): it
+re-requests withheld envelopes from the fault-engine ledger and raises
+:class:`~repro.mpi.errors.MessageLostError` when the budget is
+exhausted, instead of hanging into the job watchdog.
 """
 
 from __future__ import annotations

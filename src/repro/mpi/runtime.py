@@ -9,8 +9,15 @@ schedules the threads.
 
 A watchdog aborts the job when no message progress happens for
 ``deadlock_timeout`` host seconds while threads are still alive — turning
-an MPI deadlock into a :class:`~repro.mpi.errors.DeadlockError` instead of
-a hung test suite.
+an MPI deadlock into a :class:`~repro.mpi.errors.DeadlockError` (carrying
+per-rank blocked-state diagnostics) instead of a hung test suite.
+
+Jobs can run under an adversarial delivery schedule: pass ``faults`` (a
+:class:`~repro.mpi.faults.FaultPlan` or its spec string) to
+:func:`run_spmd` and the runtime installs a
+:class:`~repro.mpi.faults.FaultEngine` on the delivery path.  Receives
+then follow a bounded retry/backoff policy instead of blocking
+indefinitely, and the job result carries the engine's fault report.
 """
 
 from __future__ import annotations
@@ -23,7 +30,9 @@ from ..perfmodel.machine import MachineSpec
 from .clock import ClockStats, VirtualClock
 from .communicator import Comm
 from .errors import DeadlockError, SpmdAborted, SpmdJobError
+from .faults import FaultEngine, RetryPolicy, as_plan
 from .mailbox import Mailbox
+from .message import Envelope
 from .tracing import Tracer
 
 _WATCHDOG_POLL = 0.25
@@ -46,6 +55,9 @@ class SpmdResult:
     rank_stats: List[RankStats]
     tracer: Tracer
     machine: MachineSpec
+    #: fault-engine report (counters + fired schedule); None when the
+    #: job ran without fault injection
+    fault_stats: Optional[Dict[str, Any]] = None
 
     @property
     def vtime(self) -> float:
@@ -83,15 +95,28 @@ class SpmdRuntime:
         nprocs: int,
         machine: Optional[MachineSpec] = None,
         trace: bool = False,
+        faults=None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.machine = machine or MachineSpec.cascade()
         self.abort_event = threading.Event()
-        self.mailboxes = [Mailbox(r, self.abort_event) for r in range(nprocs)]
-        self.clocks = [VirtualClock() for _ in range(nprocs)]
         self.tracer = Tracer(enabled=trace)
+        plan = as_plan(faults)
+        if plan is not None and retry is not None:
+            plan = type(plan)(faults=plan.faults, seed=plan.seed, retry=retry)
+        self.faults: Optional[FaultEngine] = (
+            FaultEngine(plan, nprocs, tracer=self.tracer)
+            if plan is not None
+            else None
+        )
+        self.mailboxes = [
+            Mailbox(r, self.abort_event, engine=self.faults)
+            for r in range(nprocs)
+        ]
+        self.clocks = [VirtualClock() for _ in range(nprocs)]
         self._context_lock = threading.Lock()
         self._contexts: Dict[Any, int] = {}
         self._next_context = 1  # 0 is COMM_WORLD
@@ -109,6 +134,16 @@ class SpmdRuntime:
     def world(self, rank: int) -> Comm:
         return Comm(self, tuple(range(self.nprocs)), rank, context=0)
 
+    def deliver(self, env: Envelope) -> None:
+        """Route one envelope to its destination, via the fault engine
+        when one is installed (which may drop, delay, duplicate or
+        corrupt it per the plan)."""
+        if self.faults is None:
+            self.mailboxes[env.dest].put(env)
+            return
+        for out in self.faults.route(env):
+            self.mailboxes[out.dest].put(out)
+
     def abort(self) -> None:
         self.abort_event.set()
         for mb in self.mailboxes:
@@ -117,6 +152,15 @@ class SpmdRuntime:
     def progress_mark(self) -> int:
         """A counter that changes whenever any message is delivered."""
         return sum(mb.delivered for mb in self.mailboxes)
+
+    def blocked_states(self) -> Dict[int, str]:
+        """Per-rank blocked-receive descriptions (watchdog diagnostics)."""
+        out: Dict[int, str] = {}
+        for mb in self.mailboxes:
+            state = mb.wait_state()
+            if state is not None:
+                out[mb.rank] = state
+        return out
 
 
 def run_spmd(
@@ -128,18 +172,29 @@ def run_spmd(
     args: Sequence[Any] = (),
     kwargs: Optional[dict] = None,
     deadlock_timeout: float = 60.0,
+    faults=None,
+    retry: Optional[RetryPolicy] = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
     Returns an :class:`SpmdResult` with every rank's return value (indexed
     by rank), virtual-time statistics and the (optional) event trace.
 
+    ``faults`` enables deterministic fault injection: a
+    :class:`~repro.mpi.faults.FaultPlan`, a spec string (see
+    :meth:`FaultPlan.parse`), or a sequence of
+    :class:`~repro.mpi.faults.Fault`.  ``retry`` overrides the plan's
+    receive retry/backoff policy.  A job that completes under injection
+    is bitwise identical to the fault-free job.
+
     Raises :class:`SpmdJobError` if any rank raised, and
     :class:`DeadlockError` if the job stopped making progress while ranks
     were blocked in communication.
     """
     kwargs = kwargs or {}
-    runtime = SpmdRuntime(nprocs, machine=machine, trace=trace)
+    runtime = SpmdRuntime(
+        nprocs, machine=machine, trace=trace, faults=faults, retry=retry
+    )
     results: List[Any] = [None] * nprocs
     failures: Dict[int, BaseException] = {}
     failures_lock = threading.Lock()
@@ -181,13 +236,15 @@ def run_spmd(
                 stalled = 0.0
                 last_mark = mark
             if stalled >= deadlock_timeout and any(t.is_alive() for t in threads):
+                diagnostics = runtime.blocked_states()
                 runtime.abort()
                 for t in threads:
                     t.join(timeout=5.0)
                 if not failures:
                     raise DeadlockError(
                         f"no message progress for {deadlock_timeout:.0f}s with "
-                        f"{sum(t.is_alive() for t in threads)} rank(s) blocked"
+                        f"{sum(t.is_alive() for t in threads)} rank(s) blocked",
+                        diagnostics=diagnostics,
                     )
                 break
 
@@ -203,4 +260,5 @@ def run_spmd(
         rank_stats=rank_stats,
         tracer=runtime.tracer,
         machine=runtime.machine,
+        fault_stats=runtime.faults.report() if runtime.faults else None,
     )

@@ -18,8 +18,10 @@ class TraceEvent:
     """One traced event on one rank."""
 
     rank: int
-    kind: str  # "send" | "recv" | "collective" | "compute"
-    op: str  # e.g. "Send", "Allreduce", "kernel_eval"
+    kind: str  # "send" | "recv" | "collective" | "compute" | "fault"
+    op: str  # e.g. "Send", "Allreduce", "kernel_eval"; for kind
+    #: "fault": the fault kind fired ("drop", "delay", ...) or the
+    #: recovery action ("retransmit", "dup_discard")
     peer: int  # peer rank for p2p, -1 otherwise
     nbytes: int
     t_start: float  # virtual seconds

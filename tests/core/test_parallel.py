@@ -139,10 +139,15 @@ class TestDriverValidation:
         with pytest.raises(ValueError):
             fit_parallel(X, y[:-1], PARAMS)
 
-    def test_too_many_procs(self):
+    def test_more_procs_than_samples(self):
+        # over-provisioned jobs are allowed: surplus ranks own zero rows
         X, y = make_blobs(n=10)
-        with pytest.raises(ValueError):
-            fit_parallel(X, y, PARAMS, nprocs=11)
+        ref = fit_parallel(X, y, PARAMS, nprocs=1)
+        res = fit_parallel(X, y, PARAMS, nprocs=11)
+        assert np.array_equal(ref.alpha, res.alpha)
+        # β comes from an allreduce whose summation tree depends on p:
+        # equal to rounding, not bitwise
+        assert res.model.beta == pytest.approx(ref.model.beta)
 
     def test_nonpositive_procs(self, problem):
         X, y = problem

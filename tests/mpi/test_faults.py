@@ -1,0 +1,230 @@
+"""Fault-injection layer: plan parsing, deterministic scheduling, and
+per-kind behaviour of the runtime under an adversarial delivery schedule.
+
+Every completing job must be bitwise identical to its fault-free run —
+results *and* virtual times — and every non-completing job must fail
+with a structured error (never a watchdog hang: all timeouts here are
+tight).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.mpi.errors import (
+    DeadlockError,
+    InjectedFault,
+    MessageLostError,
+    SpmdJobError,
+)
+from repro.mpi.faults import Fault, FaultPlan, RetryPolicy, as_plan
+
+pytestmark = pytest.mark.faults
+
+#: fast-failing policy so nothing in this module waits long
+FAST = RetryPolicy(timeout=0.05, backoff=1.5, max_retries=3)
+
+
+def pingpong(comm):
+    """rank 0 -> 1 object send, 1 -> 0 reply; returns the reply on 0."""
+    if comm.rank == 0:
+        comm.send({"x": np.arange(4.0)}, dest=1, tag=5)
+        return comm.recv(source=1, tag=6)
+    obj = comm.recv(source=0, tag=5)
+    comm.send(float(obj["x"].sum()), dest=0, tag=6)
+    return None
+
+
+def ring_allreduce(comm):
+    return comm.allreduce(float(comm.rank + 1))
+
+
+class TestPlanParsing:
+    def test_round_trip(self):
+        spec = "seed=7;retry:timeout=0.1,max=4;drop:src=0,dest=1,tag=3,nth=1"
+        plan = FaultPlan.parse(spec)
+        assert plan.seed == 7
+        assert plan.retry.timeout == 0.1
+        assert plan.retry.max_retries == 4
+        (f,) = plan.faults
+        assert (f.kind, f.src, f.dest, f.tag, f.nth) == ("drop", 0, 1, 3, 1)
+        assert FaultPlan.parse(plan.describe()).faults == plan.faults
+
+    def test_wildcards(self):
+        (f,) = FaultPlan.parse("delay:src=*,tag=any,seconds=0.5").faults
+        assert f.src is None and f.tag is None and f.seconds == 0.5
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("teleport:src=0")
+
+    def test_bad_clause_rejected(self):
+        with pytest.raises(ValueError, match="bad fault clause"):
+            FaultPlan.parse("just-some-words")
+
+    def test_rank_faults_require_rank(self):
+        with pytest.raises(ValueError, match="requires rank="):
+            Fault("kill")
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=0)
+        assert RetryPolicy(timeout=0.1, backoff=2.0).budget(3) == pytest.approx(0.4)
+
+    def test_as_plan_coercions(self):
+        assert as_plan(None) is None
+        plan = FaultPlan(faults=(Fault("dup"),))
+        assert as_plan(plan) is plan
+        assert as_plan("seed=3;dup:tag=5").seed == 3
+        assert as_plan([Fault("dup")]).faults[0].kind == "dup"
+        with pytest.raises(TypeError):
+            as_plan(42)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan.parse(
+            "seed=11;retry:timeout=0.05,max=3;"
+            "drop:src=0,dest=1,tag=5,nth=1;dup:tag=6"
+        )
+        reports = [
+            run_spmd(pingpong, 2, faults=plan).fault_stats for _ in range(3)
+        ]
+        assert reports[0]["schedule"]
+        assert reports[1]["schedule"] == reports[0]["schedule"]
+        assert reports[2]["schedule"] == reports[0]["schedule"]
+
+    def test_prob_is_seeded(self):
+        plan_a = FaultPlan(faults=(Fault("dup", tag=5, prob=0.5),), seed=1)
+        plan_b = FaultPlan(faults=(Fault("dup", tag=5, prob=0.5),), seed=1)
+        ra = run_spmd(pingpong, 2, faults=plan_a).fault_stats
+        rb = run_spmd(pingpong, 2, faults=plan_b).fault_stats
+        assert ra["schedule"] == rb["schedule"]
+
+
+class TestMessageFaults:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_spmd(pingpong, 2)
+
+    def _identical(self, res, baseline):
+        assert res.results == baseline.results
+        assert res.vtime == baseline.vtime
+
+    def test_drop_recovered_bitwise(self, baseline):
+        plan = FaultPlan(
+            faults=(Fault("drop", src=0, dest=1, tag=5, nth=1),),
+            seed=1, retry=FAST,
+        )
+        res = run_spmd(pingpong, 2, faults=plan)
+        self._identical(res, baseline)
+        stats = res.fault_stats["stats"]
+        assert stats["dropped"] == 1
+        assert stats["retransmitted"] == 1
+
+    def test_drop_count_needs_more_retries(self, baseline):
+        # two suppressed delivery attempts -> recovered on the 3rd ask
+        plan = FaultPlan(
+            faults=(Fault("drop", tag=5, nth=1, count=3),),
+            seed=1, retry=FAST,
+        )
+        res = run_spmd(pingpong, 2, faults=plan)
+        self._identical(res, baseline)
+        assert res.fault_stats["stats"]["retries"] >= 3
+
+    def test_dup_discarded(self, baseline):
+        plan = FaultPlan(faults=(Fault("dup", src=0, dest=1, tag=5),), seed=1)
+        res = run_spmd(pingpong, 2, faults=plan)
+        self._identical(res, baseline)
+        assert res.fault_stats["stats"]["dup_discarded"] == 1
+
+    def test_delay_shifts_vtime_only(self, baseline):
+        plan = FaultPlan(
+            faults=(Fault("delay", src=0, dest=1, tag=5, seconds=0.25),),
+            seed=1,
+        )
+        res = run_spmd(pingpong, 2, faults=plan)
+        assert res.results == baseline.results
+        assert res.vtime > baseline.vtime
+        assert res.fault_stats["stats"]["delayed"] == 1
+
+    def test_exhausted_retries_name_rank_and_tag(self):
+        plan = FaultPlan(
+            faults=(Fault("drop", src=0, dest=1, tag=5, nth=1, count=99),),
+            seed=1, retry=FAST,
+        )
+        with pytest.raises(SpmdJobError) as ei:
+            run_spmd(pingpong, 2, faults=plan, deadlock_timeout=20.0)
+        lost = [
+            e for e in ei.value.failures.values()
+            if isinstance(e, MessageLostError)
+        ]
+        assert lost, f"expected a MessageLostError, got {ei.value.failures}"
+        # rank 1 loses the dropped tag-5 message; rank 0 — starved of the
+        # reply — may exhaust its own budget on tag 6 first (host-timing
+        # race).  Either way the error names the blocked rank, source
+        # and tag.
+        msgs = {str(e) for e in lost}
+        assert any(
+            ("rank 1" in m and "src=0" in m and "tag=5" in m)
+            or ("rank 0" in m and "src=1" in m and "tag=6" in m)
+            for m in msgs
+        ), msgs
+
+    def test_faults_on_collectives_recovered(self):
+        baseline = run_spmd(ring_allreduce, 4)
+        plan = FaultPlan(
+            faults=(Fault("drop", dest=2, nth=1),), seed=2, retry=FAST
+        )
+        res = run_spmd(ring_allreduce, 4, faults=plan)
+        assert res.results == baseline.results == [10.0] * 4
+        assert res.vtime == baseline.vtime
+        # nth counts per (src, dest) stream: every sender's first
+        # message into rank 2 is dropped, and each one is recovered
+        assert res.fault_stats["stats"]["retransmitted"] >= 1
+        assert (
+            res.fault_stats["stats"]["retransmitted"]
+            == res.fault_stats["stats"]["dropped"]
+        )
+
+
+class TestRankFaults:
+    def test_stall_is_host_time_only(self):
+        baseline = run_spmd(pingpong, 2)
+        plan = FaultPlan(
+            faults=(Fault("stall", rank=0, after=1, seconds=0.2),),
+            seed=1, retry=RetryPolicy(timeout=0.5, max_retries=4),
+        )
+        res = run_spmd(pingpong, 2, faults=plan)
+        assert res.results == baseline.results
+        assert res.vtime == baseline.vtime  # virtual clock never stalls
+        assert res.fault_stats["stats"]["stalled"] == 1
+
+    def test_kill_raises_structured_job_error(self):
+        plan = FaultPlan(faults=(Fault("kill", rank=0, after=1),), seed=1,
+                         retry=FAST)
+        with pytest.raises(SpmdJobError) as ei:
+            run_spmd(pingpong, 2, faults=plan, deadlock_timeout=20.0)
+        assert any(
+            isinstance(e, InjectedFault) for e in ei.value.failures.values()
+        )
+
+
+class TestDeadlockDiagnostics:
+    def test_blocked_state_reported_per_rank(self):
+        def deadlock(comm):
+            # both ranks wait on a message nobody sends
+            return comm.recv(source=(comm.rank + 1) % 2, tag=9)
+
+        with pytest.raises(DeadlockError) as ei:
+            run_spmd(deadlock, 2, deadlock_timeout=1.0)
+        msg = str(ei.value)
+        assert "rank 0" in msg and "rank 1" in msg
+        assert "blocked in recv" in msg and "tag=9" in msg
+
+    def test_fault_free_runs_have_no_report(self):
+        assert run_spmd(pingpong, 2).fault_stats is None
