@@ -61,6 +61,9 @@ def _add_train(sub) -> None:
                    help="deterministic fault-injection spec for the simulated "
                         "runtime, e.g. 'seed=7;drop:src=0,dest=1,tag=3,nth=1' "
                         "(kinds: delay drop dup corrupt stall kill)")
+    p.add_argument("--engine", default=None, choices=("packed", "legacy"),
+                   help="iteration engine (default: packed, or the "
+                        "REPRO_SVM_ENGINE environment variable)")
     p.add_argument("--model-out", help="write the trained model (JSON)")
 
 
@@ -114,6 +117,7 @@ def cmd_train(args) -> int:
         machine=_machine(args.machine),
         max_iter=args.max_iter,
         faults=args.faults,
+        engine=args.engine,
     )
     t0 = time.perf_counter()
     clf.fit(X_train, y_train)

@@ -38,17 +38,23 @@ import numpy as np
 
 from ..kernels import Kernel
 from ..mpi.communicator import Comm
-from ..mpi.reduceops import MAXLOC, MINLOC, SUM
+from ..mpi.reduceops import MAXLOC, MINLOC, MINLOC_MAXLOC, SUM
 from ..sparse.csr import CSRMatrix
 from ..sparse.partition import BlockPartition
 from .gradient import apply_pair_update
 from .params import ConvergenceError, SVMParams
 from .reconstruction import gradient_reconstruction
-from .sets import free_mask, low_mask, shrinkable_mask, up_mask
+from .sets import free_mask, low_mask, shrinkable_mask, up_low_masks, up_mask
 from .shrinking import Heuristic
-from .state import LocalBlock
+from .state import CompactActiveSet, LocalBlock
 from .trace import RankTrace
-from .wss import NO_INDEX, Violators, compute_beta, local_extrema, solve_pair
+from .wss import (
+    NO_INDEX,
+    Violators,
+    beta_from_moments,
+    local_extrema,
+    solve_pair,
+)
 
 TAG_SAMPLE_UP = 1
 TAG_SAMPLE_LOW = 2
@@ -127,13 +133,17 @@ class RankSolver:
         ):
             owner = self.part.owner(gidx)
             if comm.rank == owner:
-                payload = blk.sample_payload(blk.to_local(gidx))
                 if owner == 0:
-                    payloads[slot] = payload
+                    # consumed locally and only pickled at the bcast —
+                    # CSR views are safe, skip the copy
+                    payloads[slot] = blk.sample_payload(
+                        blk.to_local(gidx), copy=False
+                    )
                 else:
-                    comm.send(payload, 0, tag)
+                    comm.send(blk.sample_payload(blk.to_local(gidx)), 0, tag)
             if comm.rank == 0 and owner != 0:
                 payloads[slot] = comm.recv(source=owner, tag=tag)
+        self.trace.pair_broadcasts += 2
         return comm.bcast(tuple(payloads), root=0)
 
     def iterate_once(self, viol: Violators, shrink_active: bool) -> None:
@@ -304,12 +314,311 @@ class RankSolver:
         free = free_mask(blk.alpha, self.C)
         local = np.array([blk.gamma[free].sum(), np.count_nonzero(free)])
         total, count = self.comm.allreduce(local, SUM)
-        if count:
-            return total / count
-        mid = 0.5 * (viol.beta_low + viol.beta_up)
-        # no free SVs anywhere and one-sided (or empty) violator bounds:
-        # ±inf would poison every prediction with NaN
-        return mid if math.isfinite(mid) else 0.0
+        return beta_from_moments(total, count, viol.beta_up, viol.beta_low)
+
+
+class _ResidentSample:
+    """A working-set sample cached on every rank between iterations.
+
+    Holds the broadcast payload plus the kernel column against this
+    rank's active rows; ``epoch`` tags which compaction of the active
+    set the column was computed for, so a shrink or reconstruction
+    invalidates it without touching the cache.  ``alpha`` is refreshed
+    on every rank from the redundantly computed pair update, so a cache
+    hit needs no payload movement at all.
+    """
+
+    __slots__ = ("idx", "vals", "norm", "y", "alpha", "kcol", "epoch")
+
+    def __init__(self, idx, vals, norm, y, alpha) -> None:
+        self.idx = idx
+        self.vals = vals
+        self.norm = norm
+        self.y = y
+        self.alpha = alpha
+        self.kcol = None
+        self.epoch = -1
+
+
+@dataclass
+class _PendingShrink:
+    """A shrink whose δ Allreduce rides the next violator election."""
+
+    mask: np.ndarray  # over the packed active arrays
+    n_shrunk: int
+    fire_iteration: int  # iteration number the countdown fired at
+
+
+class PackedRankSolver(RankSolver):
+    """The overhauled per-iteration engine (ISSUE 4 tentpole).
+
+    Produces bitwise-identical (α, β, iteration sequence, kernel-eval
+    counts) to :class:`RankSolver` while replacing the three per-
+    iteration costs:
+
+    - **Fused election**: one typed :data:`MINLOC_MAXLOC` Allreduce
+      carries (β_up, i_up, β_low, i_low) — and, when a shrink countdown
+      has fired, the surviving-active-count SUM in a fifth slot —
+      instead of two pickled Allreduces plus a separate shrink SUM.
+      The fused array op applies the same value-then-lowest-index
+      comparisons over the same combine tree, so the elected pair is
+      identical; the shrink elimination is deferred one half-step (to
+      the election that carries its δ), which changes no elected
+      winner because the masked-out candidates are exactly the samples
+      the legacy engine had already eliminated by then.
+    - **Compacted state**: α/y/γ/C/norms and the active CSR rows live
+      in packed arrays (:class:`CompactActiveSet`), rebuilt only at
+      shrink/reconstruction events — no ``flatnonzero`` and no
+      fancy-index gathers per iteration.
+    - **Owner-rooted pair movement**: each working-set sample is
+      broadcast from its owning rank (no rank-0 relay), and a
+      resident-pair cache skips the broadcast and reuses the kernel
+      column when i_up/i_low repeats within one compaction epoch.
+      Kernel-eval *accounting* stays the canonical 2·n_active + 3 per
+      iteration even on a column-cache hit — the reuse is host-time
+      memoization of a bitwise-identical recomputation, and keeping
+      the charge preserves eval-count equality with the legacy engine.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        blk: LocalBlock,
+        part: BlockPartition,
+        params: SVMParams,
+        heuristic: Heuristic,
+    ) -> None:
+        super().__init__(comm, blk, part, params, heuristic)
+        self.compact = CompactActiveSet(blk, self.C)
+        self._resident: dict = {}
+        self._pending: "_PendingShrink | None" = None
+
+    # ------------------------------------------------------------------
+    # fused election
+    # ------------------------------------------------------------------
+    def _election_buffer(self, up, low, tail) -> np.ndarray:
+        cs = self.compact
+        bu, ku, bl, kl = local_extrema(cs.gamma, up, low, 0)
+        gi_up = float(cs.gidx[ku]) if ku != NO_INDEX else float(NO_INDEX)
+        gi_low = float(cs.gidx[kl]) if kl != NO_INDEX else float(NO_INDEX)
+        slots = [bu, gi_up, bl, gi_low]
+        if tail is not None:
+            slots.append(tail)
+        return np.array(slots, dtype=np.float64)
+
+    def select(self) -> Violators:
+        """One fused typed Allreduce elects the pair (and settles a
+        pending shrink's δ when one rode along)."""
+        cs, comm = self.compact, self.comm
+        pending = self._pending
+        up, low = up_low_masks(cs.alpha, cs.y, cs.C)
+        if pending is not None:
+            # candidates the deferred shrink will eliminate must not
+            # win this election — the legacy engine eliminated them
+            # before electing
+            if pending.n_shrunk:
+                keep = ~pending.mask
+                up &= keep
+                low &= keep
+            tail = float(cs.n_active - pending.n_shrunk)
+        else:
+            tail = None
+        comm.advance(comm.machine.time_flops(8.0 * cs.n_active))
+        out = comm.allreduce_buffer(
+            self._election_buffer(up, low, tail), MINLOC_MAXLOC
+        )
+        if pending is not None:
+            out = self._resolve_shrink(pending, int(out[4]), out)
+        return Violators(
+            beta_up=float(out[0]), i_up=int(out[1]), gamma_up=float(out[0]),
+            beta_low=float(out[2]), i_low=int(out[3]), gamma_low=float(out[2]),
+        )
+
+    def _resolve_shrink(
+        self, pending: _PendingShrink, delta: int, out: np.ndarray
+    ) -> np.ndarray:
+        """Apply (or veto) the deferred elimination now that δ is known."""
+        self._pending = None
+        cs, blk = self.compact, self.blk
+        self.trace.shrink_iters.append(pending.fire_iteration)
+        if delta == 0:
+            # over-eager global shrink-to-empty: keep the active set,
+            # re-arm, and redo the election without the exclusions
+            # (the fused winners above were elected over the wrong
+            # candidate set; this second Allreduce is the rare path)
+            self.trace.shrunk_per_event.append(0)
+            self.delta_c = max(1.0, self._initial_threshold)
+            up, low = up_low_masks(cs.alpha, cs.y, cs.C)
+            self.comm.advance(
+                self.comm.machine.time_flops(8.0 * cs.n_active)
+            )
+            return self.comm.allreduce_buffer(
+                self._election_buffer(up, low, None), MINLOC_MAXLOC
+            )
+        self.trace.shrunk_per_event.append(pending.n_shrunk)
+        if pending.n_shrunk:
+            cs.flush()
+            blk.active[cs.lidx[pending.mask]] = False
+            blk.invalidate_active()
+            cs.rebuild()
+        if self.heur.subsequent == "active_set":
+            self.delta_c = max(1.0, float(delta))
+        else:
+            self.delta_c = max(1.0, self._initial_threshold)
+        return out
+
+    # ------------------------------------------------------------------
+    # owner-rooted pair movement
+    # ------------------------------------------------------------------
+    def _fetch_sample(self, gidx: int) -> _ResidentSample:
+        ent = self._resident.get(gidx)
+        if ent is not None:
+            return ent
+        comm, blk, cs = self.comm, self.blk, self.compact
+        owner = self.part.owner(gidx)
+        payload = None
+        if comm.rank == owner:
+            pay = blk.sample_payload(blk.to_local(gidx), copy=False)
+            # blk.alpha is stale between flushes — α lives in the
+            # packed array while the sample is active
+            payload = pay[:4] + (
+                float(cs.alpha[cs.position_of_global(gidx)]),
+            )
+        payload = comm.bcast(payload, root=owner)
+        self.trace.pair_broadcasts += 1
+        ent = _ResidentSample(*payload)
+        self._resident[gidx] = ent
+        return ent
+
+    def fetch_pair(self, viol: Violators):
+        """Broadcast each sample from its owner; resident samples are
+        free.
+
+        The cache is coherent without invalidation: a sample's row, y
+        and norm never change, and its α changes only while it is *in*
+        the working set — at which moment every rank recomputes the
+        update redundantly and refreshes the entry.  Every rank runs
+        the same broadcast sequence, so the cache contents are
+        identical everywhere and the hit/miss decision needs no
+        coordination.
+        """
+        return self._fetch_sample(viol.i_up), self._fetch_sample(viol.i_low)
+
+    def _kernel_columns(
+        self, ent_up: _ResidentSample, ent_low: _ResidentSample
+    ) -> tuple:
+        """Φ(sample, active rows) for both pair samples, memoized per
+        compaction epoch.
+
+        Uncached columns are produced by one blocked call (both at
+        once on a full miss).  Bitwise identical to the legacy 2-column
+        call however the batch splits: column j of ``kernel.block``
+        equals the single-column product (see
+        :meth:`CSRMatrix.dot_csr_t`), and the kernel maps are pure
+        elementwise expressions.
+        """
+        cs = self.compact
+        need = [
+            e
+            for e in (ent_up, ent_low)
+            if e.kcol is None or e.epoch != cs.epoch
+        ]
+        if need:
+            rows = CSRMatrix.from_rows(
+                [(e.idx, e.vals) for e in need], self.blk.X.shape[1]
+            )
+            cols = self.kernel.block(
+                cs.Xa, cs.norms, rows, np.array([e.norm for e in need])
+            )
+            for j, e in enumerate(need):
+                e.kcol = cols[:, j]
+                e.epoch = cs.epoch
+        return ent_up.kcol, ent_low.kcol
+
+    # ------------------------------------------------------------------
+    # the packed iteration
+    # ------------------------------------------------------------------
+    def iterate_once(self, viol: Violators, shrink_active: bool) -> None:
+        comm, cs, kernel = self.comm, self.compact, self.kernel
+        ent_up, ent_low = self.fetch_pair(viol)
+        yu, au = ent_up.y, ent_up.alpha
+        yl, al = ent_low.y, ent_low.alpha
+
+        k_uu = kernel.self_value(ent_up.norm)
+        k_ll = kernel.self_value(ent_low.norm)
+        k_ul = kernel.pair(
+            (ent_up.idx, ent_up.vals, ent_up.norm),
+            (ent_low.idx, ent_low.vals, ent_low.norm),
+        )
+        new_up, new_low = solve_pair(
+            k_uu, k_ll, k_ul, yu, yl, au, al,
+            viol.gamma_up, viol.gamma_low,
+            self.params.box_for(yu), self.params.box_for(yl),
+        )
+        d_up = new_up - au
+        d_low = new_low - al
+
+        k_up_col, k_low_col = self._kernel_columns(ent_up, ent_low)
+        apply_pair_update(cs.gamma, k_up_col, k_low_col, yu, yl, d_up, d_low)
+        if self.blk.owns_global(viol.i_up):
+            cs.alpha[cs.position_of_global(viol.i_up)] = new_up
+        if self.blk.owns_global(viol.i_low):
+            cs.alpha[cs.position_of_global(viol.i_low)] = new_low
+        # every rank computed the update redundantly — keep the cached
+        # payloads current so a repeat election moves no bytes
+        ent_up.alpha = new_up
+        ent_low.alpha = new_low
+
+        evals = 2 * cs.n_active + 3
+        self.trace.kernel_evals += evals
+        self.trace.iter_kernel_evals += evals
+        comm.charge_kernel_evals(evals, self.avg_nnz)
+
+        if shrink_active:
+            self.delta_c -= 1
+            if self.delta_c <= 0:
+                mask = shrinkable_mask(
+                    cs.alpha, cs.y, cs.gamma, cs.C,
+                    viol.beta_up, viol.beta_low,
+                )
+                self._pending = _PendingShrink(
+                    mask=mask,
+                    n_shrunk=int(np.count_nonzero(mask)),
+                    fire_iteration=self.iterations,
+                )
+
+        self.trace.record_iteration(cs.n_active)
+        if comm.rank == 0:
+            self.trace.gap_history.append(viol.gap())
+        self.iterations += 1
+        if self.params.max_iter and self.iterations > self.params.max_iter:
+            raise ConvergenceError(
+                f"parallel SMO exceeded max_iter={self.params.max_iter} "
+                f"(gap {viol.gap():.3e})"
+            )
+
+    # ------------------------------------------------------------------
+    # event boundaries: flush packed state back into the block
+    # ------------------------------------------------------------------
+    def reconstruct(self) -> Violators:
+        assert self._pending is None, "shrink unresolved at reconstruction"
+        self.compact.flush()
+        gradient_reconstruction(
+            self.comm, self.blk, self.kernel, self.iterations, self.trace
+        )
+        self.compact.rebuild()
+        return self.select()
+
+    def _final_beta(self, viol: Violators) -> float:
+        assert self._pending is None, "shrink unresolved at finalization"
+        self.compact.flush()
+        return super()._final_beta(viol)
+
+
+#: engine registry — "packed" is the default; "legacy" keeps the
+#: original relay-and-two-Allreduce path alive for A/B equivalence
+#: tests and the before/after benchmark
+ENGINES = {"packed": PackedRankSolver, "legacy": RankSolver}
 
 
 def solve_rank(
@@ -318,6 +627,13 @@ def solve_rank(
     part: BlockPartition,
     params: SVMParams,
     heuristic: Heuristic,
+    engine: str = "packed",
 ) -> RankResult:
     """Entry point executed by :func:`repro.mpi.run_spmd` on each rank."""
-    return RankSolver(comm, blk, part, params, heuristic).solve()
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
+        ) from None
+    return cls(comm, blk, part, params, heuristic).solve()

@@ -55,6 +55,25 @@ def low_mask(alpha: np.ndarray, y: np.ndarray, C: float) -> np.ndarray:
     return (pos & ~at_zero) | (~pos & ~at_c)
 
 
+def up_low_masks(
+    alpha: np.ndarray, y: np.ndarray, C
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Both election masks from one pass over the bound tests.
+
+    Returns ``(up, low)`` bitwise identical to :func:`up_mask` /
+    :func:`low_mask`; the shared ``at_zero``/``at_c``/``pos``
+    intermediates are computed once (the per-iteration hot path calls
+    both masks back to back).
+    """
+    at_zero = alpha <= C * _BOUND_RTOL
+    at_c = alpha >= C * (1.0 - _BOUND_RTOL)
+    pos = y > 0
+    not_pos = ~pos
+    not_zero = ~at_zero
+    not_c = ~at_c
+    return (pos & not_c) | (not_pos & not_zero), (pos & not_zero) | (not_pos & not_c)
+
+
 def free_mask(alpha: np.ndarray, C: float) -> np.ndarray:
     """Membership in I0 (0 < α < C), used for the final β (hyperplane b)."""
     return (alpha > C * _BOUND_RTOL) & (alpha < C * (1.0 - _BOUND_RTOL))

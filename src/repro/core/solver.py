@@ -10,6 +10,7 @@ virtual-time statistics.  The high-level sklearn-style facade lives in
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Union
@@ -21,11 +22,25 @@ from ..perfmodel.machine import MachineSpec
 from ..sparse.csr import CSRMatrix
 from ..sparse.partition import BlockPartition
 from .model import SVMModel
-from .parallel import RankResult, solve_rank
+from .parallel import ENGINES, RankResult, solve_rank
 from .params import SVMParams
 from .shrinking import Heuristic, get_heuristic
 from .state import make_blocks
 from .trace import FitStats, SolveTrace
+
+#: environment override for the iteration engine ("packed" / "legacy")
+ENGINE_ENV = "REPRO_SVM_ENGINE"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Pick the iteration engine: explicit arg > env var > "packed"."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or "packed"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
+        )
+    return engine
 
 
 @dataclass
@@ -60,6 +75,7 @@ def fit_parallel(
     deadlock_timeout: float = 120.0,
     warm_start_alpha: Optional[np.ndarray] = None,
     faults=None,
+    engine: Optional[str] = None,
 ) -> FitResult:
     """Train with the distributed solver on ``nprocs`` simulated ranks.
 
@@ -79,7 +95,17 @@ def fit_parallel(
     :class:`~repro.mpi.faults.FaultPlan`, spec string, or fault
     sequence).  A fit that completes under injection returns a model
     bitwise identical to the fault-free fit.
+
+    ``engine`` selects the per-iteration engine: ``"packed"`` (default;
+    fused violator Allreduce, compacted active-set state, owner-rooted
+    pair broadcast) or ``"legacy"`` (the original two-Allreduce,
+    rank-0-relay path).  The two produce bitwise-identical models,
+    iteration sequences and kernel-eval counts; only host time and
+    simulated communication cost differ.  ``None`` reads the
+    ``REPRO_SVM_ENGINE`` environment variable, falling back to
+    ``"packed"``.
     """
+    engine = resolve_engine(engine)
     if not isinstance(X, CSRMatrix):
         X = CSRMatrix.from_dense(np.asarray(X, dtype=np.float64))
     y = np.asarray(y, dtype=np.float64)
@@ -122,7 +148,7 @@ def fit_parallel(
             blk.invalidate_active()
 
     def entry(comm):
-        return solve_rank(comm, blocks[comm.rank], part, params, heur)
+        return solve_rank(comm, blocks[comm.rank], part, params, heur, engine)
 
     t0 = time.perf_counter()
     spmd = run_spmd(
@@ -157,6 +183,7 @@ def fit_parallel(
         bytes_sent=spmd.total_bytes_sent,
         messages=spmd.total_messages,
         trace=trace,
+        engine=engine,
     )
     return FitResult(
         model=model,

@@ -82,17 +82,83 @@ class LocalBlock:
             )
         return g - self.global_start
 
-    def sample_payload(self, local_i: int) -> tuple:
+    def sample_payload(self, local_i: int, copy: bool = True) -> tuple:
         """The tuple shipped when this rank's sample joins the working set:
-        ``(indices, values, ||x||², y, α)``."""
+        ``(indices, values, ||x||², y, α)``.
+
+        ``copy=False`` returns views into the CSR storage — safe (and
+        cheaper) when the payload is consumed on the owning rank without
+        serialization; keep the default on any send path.
+        """
         idx, vals = self.X.row(local_i)
+        if copy:
+            idx, vals = idx.copy(), vals.copy()
         return (
-            idx.copy(),
-            vals.copy(),
+            idx,
+            vals,
             float(self.norms[local_i]),
             float(self.y[local_i]),
             float(self.alpha[local_i]),
         )
+
+
+class CompactActiveSet:
+    """Packed structure-of-arrays mirror of a rank's active samples.
+
+    The per-iteration hot path (violator scan, γ update, shrink-mask
+    evaluation, O(1) active count) reads and writes these contiguous
+    arrays directly — no ``flatnonzero`` and no fancy-index gathers per
+    iteration.  The structure is recompacted only at the rare events
+    that change the active set (shrink elimination, reconstruction);
+    :meth:`flush` scatters the working α/γ back into the
+    :class:`LocalBlock`'s full-length arrays at those same events.
+
+    Entries keep the block's local-index order, so elementwise scans
+    over the packed arrays visit samples in exactly the order the
+    uncompacted engine's ``active_view`` gathers produce — argmin/argmax
+    tie-breaking, and therefore the iteration sequence, is unchanged.
+    ``epoch`` increments on every rebuild; callers use it to invalidate
+    anything derived from the active rows (e.g. cached kernel columns).
+    """
+
+    def __init__(self, blk: LocalBlock, box) -> None:
+        self._blk = blk
+        self._box = np.broadcast_to(
+            np.asarray(box, dtype=np.float64), (blk.n_local,)
+        )
+        self.epoch = 0
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Recompact from the block's current active mask."""
+        blk = self._blk
+        lidx = np.flatnonzero(blk.active)
+        self.lidx = lidx
+        self.gidx = lidx + blk.global_start
+        self.alpha = blk.alpha[lidx].copy()
+        self.y = blk.y[lidx].copy()
+        self.gamma = blk.gamma[lidx].copy()
+        self.C = self._box[lidx].copy()
+        self.norms = blk.norms[lidx].copy()
+        self.Xa = blk.X.take_rows(lidx)
+        self.epoch += 1
+
+    def flush(self) -> None:
+        """Scatter the working α/γ back into the block's full arrays."""
+        blk = self._blk
+        blk.alpha[self.lidx] = self.alpha
+        blk.gamma[self.lidx] = self.gamma
+
+    @property
+    def n_active(self) -> int:
+        return int(self.lidx.size)
+
+    def position_of_global(self, g: int) -> int:
+        """Packed position of global sample ``g`` (must be active here)."""
+        k = int(np.searchsorted(self.gidx, g))
+        if k >= self.gidx.size or self.gidx[k] != g:
+            raise IndexError(f"global index {g} is not active on this rank")
+        return k
 
 
 def make_blocks(

@@ -63,6 +63,12 @@ class SVC:
         e.g. ``"seed=7;drop:src=0,dest=1,tag=3,nth=1"``).  A fit that
         completes under injection is bitwise identical to the
         fault-free fit.
+    engine:
+        Iteration engine: ``"packed"`` (fused election Allreduce,
+        compacted active-set state, owner-rooted pair broadcast) or
+        ``"legacy"``; ``None`` defers to the ``REPRO_SVM_ENGINE``
+        environment variable (default ``"packed"``).  Both engines
+        produce bitwise-identical models.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class SVC:
         shrink_eps_factor: float = 10.0,
         class_weight: Optional[Union[dict, str]] = None,
         faults=None,
+        engine: Optional[str] = None,
     ) -> None:
         if gamma is not None and sigma_sq is not None:
             raise ValueError("give either gamma or sigma_sq, not both")
@@ -94,6 +101,7 @@ class SVC:
         self.shrink_eps_factor = shrink_eps_factor
         self.class_weight = class_weight
         self.faults = faults
+        self.engine = engine
 
         self.model_ = None
         self.fit_result_: Optional[FitResult] = None
@@ -172,6 +180,7 @@ class SVC:
             nprocs=self.nprocs,
             machine=self.machine,
             faults=self.faults,
+            engine=self.engine,
         )
         self.model_ = self.fit_result_.model
         return self
@@ -240,6 +249,7 @@ class SVC:
             "shrink_eps_factor": self.shrink_eps_factor,
             "class_weight": self.class_weight,
             "faults": self.faults,
+            "engine": self.engine,
         }
 
     def set_params(self, **kwargs) -> "SVC":

@@ -44,6 +44,10 @@ class RankTrace:
     recon_events: List[ReconEvent] = field(default_factory=list)
     kernel_evals: int = 0
     iter_kernel_evals: int = 0  # kernel evals in the iterative part only
+    #: working-set sample broadcasts this rank took part in (the packed
+    #: engine's resident cache makes this < 2·iterations; identical on
+    #: every rank since the broadcast sequence is collective)
+    pair_broadcasts: int = 0
 
     def record_iteration(self, n_active_local: int) -> None:
         self.active_counts.append(n_active_local)
@@ -70,6 +74,10 @@ class SolveTrace:
     recon_events: List[ReconEvent]
     kernel_evals: int
     iter_kernel_evals: int
+    #: per-iteration-loop working-set broadcasts (p-independent: the
+    #: miss sequence of the packed engine's resident cache is fixed by
+    #: the deterministic iteration sequence)
+    pair_broadcasts: int = 0
 
     @classmethod
     def merge(
@@ -109,6 +117,9 @@ class SolveTrace:
             recon_events=recon,
             kernel_evals=sum(t.kernel_evals for t in rank_traces),
             iter_kernel_evals=sum(t.iter_kernel_evals for t in rank_traces),
+            pair_broadcasts=max(
+                (t.pair_broadcasts for t in rank_traces), default=0
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -161,6 +172,7 @@ class SolveTrace:
             "recon_events": [vars(ev) for ev in self.recon_events],
             "kernel_evals": self.kernel_evals,
             "iter_kernel_evals": self.iter_kernel_evals,
+            "pair_broadcasts": self.pair_broadcasts,
         }
 
     @classmethod
@@ -178,6 +190,7 @@ class SolveTrace:
             recon_events=[ReconEvent(**ev) for ev in d["recon_events"]],
             kernel_evals=int(d["kernel_evals"]),
             iter_kernel_evals=int(d["iter_kernel_evals"]),
+            pair_broadcasts=int(d.get("pair_broadcasts", 0)),
         )
 
     def save(self, path) -> None:
@@ -211,3 +224,4 @@ class FitStats:
     bytes_sent: int
     messages: int
     trace: Optional[SolveTrace] = None
+    engine: str = "packed"  # iteration engine the fit ran with

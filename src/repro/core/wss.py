@@ -23,6 +23,7 @@ non-positive-definite ρ ≥ 0 we apply libsvm's τ-regularization
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -122,6 +123,26 @@ def solve_pair(
     return new_up, new_low
 
 
+def beta_from_moments(
+    total: float,
+    count: float,
+    beta_up: float,
+    beta_low: float,
+) -> float:
+    """β from (Σ γ over I0, |I0|) plus the violator bounds.
+
+    Mean of γ over I0 when I0 is non-empty, else the β midpoint.  With
+    no free SVs *and* one-sided (or empty) violator bounds the midpoint
+    is ±inf/NaN — which would poison every prediction — so it collapses
+    to 0.  Shared by the sequential solvers and the distributed engine
+    (which feeds globally allreduced moments).
+    """
+    if count:
+        return float(total / count)
+    mid = 0.5 * (beta_low + beta_up)
+    return mid if math.isfinite(mid) else 0.0
+
+
 def compute_beta(
     gamma: np.ndarray,
     free: np.ndarray,
@@ -130,10 +151,10 @@ def compute_beta(
 ) -> float:
     """Final hyperplane threshold β (§III):
 
-    mean of γ over I0 when I0 is non-empty, else the β midpoint.
-    The decision function offset is b = −β.
+    mean of γ over I0 when I0 is non-empty, else the β midpoint (0 when
+    the midpoint is not finite).  The decision function offset is b = −β.
     """
     n_free = int(np.count_nonzero(free))
-    if n_free:
-        return float(gamma[free].sum() / n_free)
-    return 0.5 * (beta_low + beta_up)
+    return beta_from_moments(
+        float(gamma[free].sum()) if n_free else 0.0, n_free, beta_up, beta_low
+    )

@@ -108,9 +108,16 @@ def reduce_binomial(
 
 
 def allreduce_recursive_doubling(
-    comm, obj: Any, op: ReduceOp, arrays: bool = False
+    comm, obj: Any, op: ReduceOp, arrays: bool = False, typed: bool = False
 ) -> Any:
-    """Recursive-doubling allreduce with the standard non-power-of-2 fold."""
+    """Recursive-doubling allreduce with the standard non-power-of-2 fold.
+
+    With ``typed=True`` the operands travel as raw numpy buffers (the
+    communicator's typed envelope path) instead of pickled objects —
+    same reduction tree, same low-rank-first combine order, smaller and
+    cheaper messages.  The caller must pass numpy arrays and an op whose
+    array path accepts them.
+    """
     p = comm.size
     tag = comm._next_coll_tag()
     if p == 1:
@@ -126,7 +133,7 @@ def allreduce_recursive_doubling(
     # pre-fold: the first 2*rem ranks pair up, evens donate to odds
     if rank < 2 * rem:
         if rank % 2 == 0:
-            comm._coll_send(val, rank + 1, tag)
+            comm._coll_send(val, rank + 1, tag, typed=typed)
             newrank = -1
         else:
             other = comm._coll_recv(rank - 1, tag)
@@ -143,7 +150,7 @@ def allreduce_recursive_doubling(
         while mask < pof2:
             partner = newrank ^ mask
             peer = real_of(partner)
-            comm._coll_send(val, peer, tag)
+            comm._coll_send(val, peer, tag, typed=typed)
             other = comm._coll_recv(peer, tag)
             if newrank < partner:
                 val = _combine(op, val, other, arrays)
@@ -154,7 +161,7 @@ def allreduce_recursive_doubling(
     # post-fold: odds return the result to their even partner
     if rank < 2 * rem:
         if rank % 2 == 1:
-            comm._coll_send(val, rank - 1, tag)
+            comm._coll_send(val, rank - 1, tag, typed=typed)
         else:
             val = comm._coll_recv(rank + 1, tag)
     return val

@@ -280,8 +280,13 @@ class Comm:
         self._coll_seq += 1
         return tag
 
-    def _coll_send(self, obj: Any, dest: int, tag: int) -> None:
-        self._post_send_object(obj, dest, tag)
+    def _coll_send(
+        self, obj: Any, dest: int, tag: int, typed: bool = False
+    ) -> None:
+        if typed:
+            self._post_send_typed(obj, dest, tag)
+        else:
+            self._post_send_object(obj, dest, tag)
 
     def _coll_recv(self, source: int, tag: int) -> Any:
         env = self._mailbox.take(source, tag, self._context, block=True)
@@ -322,6 +327,24 @@ class Comm:
         out = _coll.allreduce_recursive_doubling(self, obj, op)
         self._trace_collective("Allreduce", 0, t0)
         return out
+
+    def allreduce_buffer(self, arr: Any, op: ReduceOp = SUM) -> np.ndarray:
+        """Allreduce a small numpy buffer over the typed envelope path.
+
+        Unlike :meth:`allreduce` the operands move as raw buffers (no
+        pickling) and are combined with the op's array path; unlike
+        :meth:`Allreduce` the result is returned rather than written
+        in place.  Reduction tree and combine order are identical to
+        :meth:`allreduce`, so (value, location) elections produce the
+        same winners on either path.
+        """
+        src = as_array(arr)
+        t0 = self._clock.now
+        out = _coll.allreduce_recursive_doubling(
+            self, src.copy(), op, arrays=True, typed=True
+        )
+        self._trace_collective("Allreduce", int(src.nbytes), t0)
+        return np.asarray(out)
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         self._check_peer(root)

@@ -64,6 +64,32 @@ def _arr_maxloc(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out.reshape(a.shape)
 
 
+#: number of leading slots in a MINLOC_MAXLOC buffer that hold the two
+#: (value, location) pairs; any trailing slots are summed
+ELECTION_SLOTS = 4
+
+
+def _fused_minloc_maxloc(a, b):
+    """Combine two election buffers: slots [0:2] MINLOC, [2:4] MAXLOC,
+    the rest (if any) element-wise SUM.
+
+    The comparisons are exactly ``_pair_minloc``/``_pair_maxloc`` — value
+    first, smallest location on ties — so a fused reduction elects the
+    same winners, in the same reduction-tree order, as two separate
+    MINLOC/MAXLOC reductions over the same operands.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    out = a.copy()
+    if b[0] < a[0] or (b[0] == a[0] and b[1] < a[1]):
+        out[0], out[1] = b[0], b[1]
+    if b[2] > a[2] or (b[2] == a[2] and b[3] < a[3]):
+        out[2], out[3] = b[2], b[3]
+    if a.shape[0] > ELECTION_SLOTS:
+        out[ELECTION_SLOTS:] = a[ELECTION_SLOTS:] + b[ELECTION_SLOTS:]
+    return out
+
+
 SUM = ReduceOp("SUM", lambda a, b: a + b, lambda a, b: a + b)
 PROD = ReduceOp("PROD", lambda a, b: a * b, lambda a, b: a * b)
 MAX = ReduceOp("MAX", np.maximum, max)
@@ -74,8 +100,16 @@ BAND = ReduceOp("BAND", np.bitwise_and, lambda a, b: a & b)
 BOR = ReduceOp("BOR", np.bitwise_or, lambda a, b: a | b)
 MINLOC = ReduceOp("MINLOC", _arr_minloc, _pair_minloc)
 MAXLOC = ReduceOp("MAXLOC", _arr_maxloc, _pair_maxloc)
+#: fused violator election: one buffer carries a MINLOC pair, a MAXLOC
+#: pair and optional SUM tail slots (the solver's shrunk-count piggyback)
+MINLOC_MAXLOC = ReduceOp(
+    "MINLOC_MAXLOC", _fused_minloc_maxloc, _fused_minloc_maxloc
+)
 
 ALL_OPS = {
     op.name: op
-    for op in (SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR, MINLOC, MAXLOC)
+    for op in (
+        SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR, MINLOC, MAXLOC,
+        MINLOC_MAXLOC,
+    )
 }

@@ -57,3 +57,25 @@ def sample_bytes(avg_nnz: float) -> float:
     """Wire size of one CSR sample row: int64 index + float64 value per
     nonzero, plus norm/label/alpha scalars and framing."""
     return 16.0 * avg_nnz + 48.0
+
+
+#: wire size of the packed engine's fused violator election — a typed
+#: float64 buffer [β_up, i_up, β_low, i_low] reduced with the
+#: MINLOC_MAXLOC op (one Allreduce replacing the legacy pair of
+#: pickled MINLOC + MAXLOC messages)
+ELECTION_BYTES = 4 * 8.0
+
+#: the same buffer with the shrink survivor-count SUM slot appended —
+#: the δ Allreduce of a shrink event piggybacks on the election that
+#: follows it instead of travelling as its own message
+ELECTION_SHRINK_BYTES = 5 * 8.0
+
+#: modeled wire size of one legacy pickled (value, index) Allreduce
+#: payload (pickle framing dominates the two scalars)
+PICKLED_PAIR_BYTES = 64.0
+
+
+def election_time(m: MachineSpec, p: int, *, with_shrink: bool = False) -> float:
+    """One fused violator-election Allreduce (packed engine)."""
+    nbytes = ELECTION_SHRINK_BYTES if with_shrink else ELECTION_BYTES
+    return allreduce_time(m, nbytes, p)

@@ -8,14 +8,29 @@ process count (deterministic tie-breaking — see
 paper's 4096 processes without 4096 host threads.
 
 Per-iteration model (matching §III-B/§IV and the runtime's own virtual
-time):
+time).  The ``engine`` argument selects the communication shape:
+
+``"packed"`` (default, matching the runtime's default engine):
+
+- owner-rooted pair movement: a binomial broadcast of one sample per
+  resident-cache miss (the trace records the exact count), rooted at
+  the owning rank — O((l + m·G)·log p), no rank-0 relay hop;
+- one fused typed election Allreduce per iteration — Θ(l·log p); a
+  shrink event widens the following election message by one slot
+  instead of sending its own δ Allreduce;
+
+``"legacy"``:
 
 - working-set routing: two point-to-point sends to rank 0 plus a
   binomial broadcast of both samples — O((l + m·G)·log p);
+- two pickled scalar allreduces — Θ(l·log p) — plus a third at every
+  shrink event.
+
+Both engines share the compute terms:
+
 - three pair kernel evaluations plus the γ update over the rank's share
   of the active set — (3 + 2·ceil(A_t/p))·λ;
-- selection scan — O(A_t/p) flops;
-- two scalar allreduces — Θ(l·log p).
+- selection scan — O(A_t/p) flops.
 
 Reconstruction events add ceil(S/p)·V kernel evaluations (S shrunk
 samples, V contributing α>0 samples) and the Θ(bytes·G) ring.
@@ -74,18 +89,23 @@ def project(
     *,
     n_scale: float = 1.0,
     iteration_scale: float = 1.0,
+    engine: str = "packed",
 ) -> ProjectedTime:
     """Evaluate the time model at ``p`` processes.
 
     ``n_scale`` multiplies the per-iteration active-set sizes (projecting
     the same trajectory onto a proportionally larger dataset);
     ``iteration_scale`` stretches the iteration axis (the trajectory is
-    resampled, preserving its shape).
+    resampled, preserving its shape).  ``engine`` selects the modeled
+    per-iteration communication shape (``"packed"`` / ``"legacy"`` —
+    the iteration sequence, and hence the trace, is identical for both).
     """
     if p < 1:
         raise ValueError(f"p must be >= 1, got {p}")
     if n_scale <= 0 or iteration_scale <= 0:
         raise ValueError("scales must be positive")
+    if engine not in ("packed", "legacy"):
+        raise ValueError(f"unknown engine {engine!r} (packed | legacy)")
 
     active = trace.active_counts.astype(np.float64) * n_scale
     iters = trace.iterations
@@ -107,14 +127,38 @@ def project(
     select = m.time_flops(_SELECT_FLOPS * per_rank_active)
     iter_compute = float(np.sum(gamma_update + select))
 
-    # owners -> rank 0 routing: with probability 1/p the owner *is*
-    # rank 0 and no message is sent (exactly zero at p = 1)
-    route = 2.0 * costs.p2p_time(m, sbytes) * (1.0 - 1.0 / p)
-    bcast = costs.bcast_time(m, 2.0 * sbytes, p)
-    reduces = 2.0 * costs.allreduce_time(m, 64.0, p)
-    iter_comm = iters * (route + bcast + reduces)
-    # the δ allreduce at each shrink event
-    iter_comm += len(trace.shrink_iters) * costs.allreduce_time(m, 64.0, p)
+    n_shrink_events = len(trace.shrink_iters)
+    if engine == "packed":
+        # owner-rooted binomial broadcasts fire only on resident-cache
+        # misses; the miss sequence is fixed by the (p-independent)
+        # iteration sequence, so the trace records the exact count.
+        # Traces predating the counter — or from legacy runs, which
+        # move both samples every iteration — fall back to the
+        # 2-per-iteration upper bound.
+        n_bcast = float(trace.pair_broadcasts or 2 * trace.iterations)
+        if trace.iterations > 0:
+            n_bcast *= iters / float(trace.iterations)
+        # one fused typed election Allreduce per iteration; a shrink
+        # event widens the following election by the piggybacked δ slot
+        reduces = costs.election_time(m, p)
+        iter_comm = (
+            n_bcast * costs.bcast_time(m, sbytes, p) + iters * reduces
+        )
+        iter_comm += n_shrink_events * (
+            costs.election_time(m, p, with_shrink=True)
+            - costs.election_time(m, p)
+        )
+    else:
+        # owners -> rank 0 routing: with probability 1/p the owner *is*
+        # rank 0 and no message is sent (exactly zero at p = 1)
+        route = 2.0 * costs.p2p_time(m, sbytes) * (1.0 - 1.0 / p)
+        bcast = costs.bcast_time(m, 2.0 * sbytes, p)
+        reduces = 2.0 * costs.allreduce_time(m, costs.PICKLED_PAIR_BYTES, p)
+        iter_comm = iters * (route + bcast + reduces)
+        # the δ allreduce at each shrink event
+        iter_comm += n_shrink_events * costs.allreduce_time(
+            m, costs.PICKLED_PAIR_BYTES, p
+        )
 
     # --- reconstruction part -------------------------------------------
     recon_compute = 0.0

@@ -85,6 +85,52 @@ def test_minloc_tie_breaks_to_lowest_rank():
 
 
 @pytest.mark.parametrize("p", PS)
+def test_allreduce_buffer_fused_election(p):
+    """The typed fused election elects the same winners as the two
+    object-path MINLOC/MAXLOC allreduces, and sums the tail slot."""
+    from repro.mpi.reduceops import MINLOC_MAXLOC
+
+    def prog(comm):
+        v = float((comm.rank * 7) % p)
+        buf = np.array(
+            [v, comm.rank, v, comm.rank, comm.rank + 1.0], dtype=np.float64
+        )
+        fused = comm.allreduce_buffer(buf, MINLOC_MAXLOC)
+        lo = comm.allreduce((v, comm.rank), MINLOC)
+        hi = comm.allreduce((v, comm.rank), MAXLOC)
+        tot = comm.allreduce(comm.rank + 1.0, SUM)
+        return fused, lo, hi, tot
+
+    for fused, lo, hi, tot in run_spmd(prog, p).results:
+        assert fused.dtype == np.float64
+        assert (fused[0], int(fused[1])) == lo
+        assert (fused[2], int(fused[3])) == hi
+        assert fused[4] == tot
+
+
+@pytest.mark.parametrize("p", PS)
+def test_allreduce_buffer_cheaper_than_two_object_allreduces(p):
+    """One 40-byte typed message per tree edge beats two pickled ones."""
+    if p == 1:
+        pytest.skip("no traffic at p=1")
+    from repro.mpi.reduceops import MINLOC_MAXLOC
+
+    def fused(comm):
+        buf = np.array([1.0, comm.rank, 1.0, comm.rank, 1.0])
+        comm.allreduce_buffer(buf, MINLOC_MAXLOC)
+        return comm.vtime
+
+    def legacy(comm):
+        comm.allreduce((1.0, comm.rank), MINLOC)
+        comm.allreduce((1.0, comm.rank), MAXLOC)
+        return comm.vtime
+
+    t_fused = max(run_spmd(fused, p).results)
+    t_legacy = max(run_spmd(legacy, p).results)
+    assert t_fused < t_legacy
+
+
+@pytest.mark.parametrize("p", PS)
 def test_typed_allreduce_inplace(p):
     def prog(comm):
         buf = np.full(3, float(comm.rank + 1))

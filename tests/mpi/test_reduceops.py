@@ -13,6 +13,7 @@ from repro.mpi.reduceops import (
     MAXLOC,
     MIN,
     MINLOC,
+    MINLOC_MAXLOC,
     PROD,
     SUM,
 )
@@ -21,7 +22,7 @@ from repro.mpi.reduceops import (
 def test_registry_complete():
     assert set(ALL_OPS) == {
         "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR",
-        "MINLOC", "MAXLOC",
+        "MINLOC", "MAXLOC", "MINLOC_MAXLOC",
     }
 
 
@@ -65,6 +66,43 @@ def test_minloc_maxloc_arrays_packed_pairs():
     hi = MAXLOC.combine_arrays(a, b)
     assert np.array_equal(lo, np.array([[1.0, 1.0], [4.0, 2.0]]))
     assert np.array_equal(hi, np.array([[1.0, 1.0], [5.0, 0.0]]))
+
+
+def test_fused_minloc_maxloc_matches_separate_ops():
+    """The fused election combines exactly like MINLOC + MAXLOC + SUM."""
+    rng = np.random.default_rng(7)
+    bufs = [
+        np.array([v_up, i_up, v_low, i_low, s], dtype=np.float64)
+        for v_up, v_low, s in rng.normal(size=(9, 3))
+        for i_up, i_low in [rng.integers(0, 40, 2)]
+    ]
+    acc = bufs[0]
+    lo, hi, tot = (
+        (bufs[0][0], bufs[0][1]),
+        (bufs[0][2], bufs[0][3]),
+        bufs[0][4],
+    )
+    for b in bufs[1:]:
+        acc = MINLOC_MAXLOC.combine_arrays(acc, b)
+        lo = MINLOC.combine(lo, (b[0], b[1]))
+        hi = MAXLOC.combine(hi, (b[2], b[3]))
+        tot = SUM.combine(tot, b[4])
+    assert np.array_equal(acc, np.array([lo[0], lo[1], hi[0], hi[1], tot]))
+
+
+def test_fused_minloc_maxloc_tie_breaks_to_lowest_index():
+    a = np.array([2.0, 9.0, 5.0, 9.0])
+    b = np.array([2.0, 4.0, 5.0, 4.0])
+    out = MINLOC_MAXLOC.combine_arrays(a, b)
+    assert np.array_equal(out, np.array([2.0, 4.0, 5.0, 4.0]))
+
+
+def test_fused_minloc_maxloc_bare_election_buffer():
+    """Length-4 buffers (no SUM tail) are accepted unchanged."""
+    a = np.array([1.0, 0.0, 3.0, 1.0])
+    b = np.array([0.5, 2.0, 4.0, 3.0])
+    out = MINLOC_MAXLOC.combine(a, b)
+    assert np.array_equal(out, np.array([0.5, 2.0, 4.0, 3.0]))
 
 
 def test_ops_associative_commutative_on_ints():
