@@ -1,0 +1,57 @@
+"""Benchmark: microbatched serving vs single-request scoring.
+
+Load-generates a burst of single-row score requests against a model
+trained on the mushrooms miniature and sweeps the microbatch policy
+(``max_batch`` 1/8/64) across shard counts (``nprocs`` 1/2/4).  Every
+swept configuration must return scores bitwise identical to a direct
+``SVMModel.decision_function`` pass; the speedup bar is batch-64
+throughput ≥ 3× single-request throughput in BOTH modeled virtual time
+and host wall time.  Also replays a duplicate-heavy workload through
+the result cache and a fault-injected run on the serving path.
+
+Results land in ``BENCH_serve.json`` at the repo root.  Run either way::
+
+    python benchmarks/bench_serve.py [--quick]
+    pytest benchmarks/bench_serve.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.serve.benchmark import check_bars, format_report, run_serve_bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+
+def run_bench(quick: bool = False) -> dict:
+    report = run_serve_bench(quick=quick)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_serve_speedup(results_dir):
+    report = run_bench()
+    # every swept configuration asserted bitwise equality inside the
+    # sweep; here we hold the throughput and cache bars
+    check_bars(report)
+    (results_dir / "serve.txt").write_text(
+        format_report(report) + "\n", encoding="utf-8"
+    )
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    report = run_bench(quick=quick)
+    print(format_report(report))
+    if not quick:
+        check_bars(report)
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

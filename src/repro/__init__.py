@@ -1,19 +1,65 @@
 """repro — reproduction of *Fast and Accurate Support Vector Machines on
 Large Scale Systems* (Vishnu et al., CLUSTER 2015).
 
-Public API highlights:
+This module is the stable public facade — the canonical spelling for
+everything user-facing::
 
-- :class:`repro.core.SVC` — high-level classifier (fit / predict / score)
-  with ``heuristic=`` selecting the paper's Table II shrinking variants
-  and ``nprocs=`` selecting the simulated process count.
-- :func:`repro.mpi.run_spmd` — the SPMD runtime the solvers execute on.
-- :mod:`repro.data` — synthetic stand-ins for the paper's datasets.
-- :mod:`repro.bench` — the experiment harness regenerating every table
-  and figure of the paper's evaluation section.
+    import repro
+
+    clf = repro.train(X, y, C=10.0, config=repro.RunConfig(nprocs=8))
+    clf.save("model.json")
+
+    clf = repro.SVC.load("model.json")
+    result = repro.serve_requests(clf.model_, X_requests,
+                                  policy=repro.BatchPolicy(max_batch=64))
+
+Training / classification: :class:`SVC`, :class:`MultiClassSVC`,
+:func:`train`, :func:`fit_parallel`.  Prediction:
+:func:`decision_function_parallel`, :func:`predict_parallel`.
+Persistence: :func:`save_model` / :func:`load_model` (bare models) and
+``SVC.save`` / ``SVC.load`` / ``MultiClassSVC.save`` /
+``MultiClassSVC.load`` (fitted classifiers).  Serving:
+:func:`serve_requests` with :class:`BatchPolicy` (see :mod:`repro.serve`).
+Run-time knobs travel in one :class:`RunConfig`.
+
+Deep imports (``repro.core.svc.SVC`` etc.) keep working — the facade
+re-exports, it does not move anything.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import mpi  # noqa: F401  (re-exported subsystem)
+from .config import RunConfig
+from .core import (
+    SVC,
+    MultiClassSVC,
+    SVMModel,
+    decision_function_parallel,
+    fit_parallel,
+    load_model,
+    predict_parallel,
+    save_model,
+    train,
+)
+from . import serve  # noqa: F401  (re-exported subsystem)
+from .serve import BatchPolicy, ServeResult, ServeStats, serve_requests
 
-__all__ = ["mpi", "__version__"]
+__all__ = [
+    "BatchPolicy",
+    "MultiClassSVC",
+    "RunConfig",
+    "SVC",
+    "SVMModel",
+    "ServeResult",
+    "ServeStats",
+    "__version__",
+    "decision_function_parallel",
+    "fit_parallel",
+    "load_model",
+    "mpi",
+    "predict_parallel",
+    "save_model",
+    "serve",
+    "serve_requests",
+    "train",
+]

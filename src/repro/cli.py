@@ -5,6 +5,7 @@
     python -m repro train   --dataset mnist --heuristic multi5pc --nprocs 8
     python -m repro train   --train-file data.libsvm --C 10 --sigma-sq 4
     python -m repro predict --model model.json --data test.libsvm
+    python -m repro serve-bench [--quick] [--out BENCH_serve.json]
     python -m repro info
     python -m repro bench   fig6 table5
 
@@ -24,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .config import RunConfig
 from .core import HEURISTICS, SVC
 from .core.model import load_model, save_model
 from .data import DATASETS, load_dataset
@@ -76,6 +78,18 @@ def _add_predict(sub) -> None:
                    help="print decision values instead of ±1 labels")
 
 
+def _add_serve_bench(sub) -> None:
+    p = sub.add_parser(
+        "serve-bench",
+        help="run the microbatched-serving benchmark sweep",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small request count, skip the speedup bars "
+                        "(bitwise-equality checks still run)")
+    p.add_argument("--out", default="BENCH_serve.json",
+                   help="report path (default: ./BENCH_serve.json)")
+
+
 def _add_info(sub) -> None:
     sub.add_parser("info", help="list datasets and heuristics")
 
@@ -107,17 +121,20 @@ def cmd_train(args) -> int:
         n_feat = X_train.shape[1]
         X_test, y_test = load_libsvm(args.test_file, n_features=n_feat)
 
+    run_config = RunConfig(
+        nprocs=args.nprocs,
+        heuristic=args.heuristic,
+        engine=args.engine,
+        machine=_machine(args.machine),
+        faults=args.faults,
+    )
     clf = SVC(
         C=C,
         gamma=args.gamma,
         sigma_sq=sigma_sq,
         eps=args.eps,
-        heuristic=args.heuristic,
-        nprocs=args.nprocs,
-        machine=_machine(args.machine),
         max_iter=args.max_iter,
-        faults=args.faults,
-        engine=args.engine,
+        config=run_config,
     )
     t0 = time.perf_counter()
     clf.fit(X_train, y_train)
@@ -155,7 +172,9 @@ def cmd_predict(args) -> int:
     X, _ = load_libsvm(args.data, n_features=model.sv_X.shape[1])
     from .core import decision_function_parallel
 
-    out = decision_function_parallel(model, X, nprocs=args.nprocs)
+    out = decision_function_parallel(
+        model, X, config=RunConfig(nprocs=args.nprocs)
+    )
     values = out.decision_values if args.scores else out.labels
     for v in values:
         print(f"{v:.6g}" if args.scores else f"{int(v):+d}")
@@ -186,6 +205,22 @@ def cmd_info(_args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .serve.benchmark import check_bars, format_report, run_serve_bench
+
+    report = run_serve_bench(quick=args.quick)
+    print(format_report(report))
+    if not args.quick:
+        check_bars(report)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench.__main__ import main as bench_main
 
@@ -200,12 +235,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_train(sub)
     _add_predict(sub)
+    _add_serve_bench(sub)
     _add_info(sub)
     _add_bench(sub)
     args = parser.parse_args(argv)
     return {
         "train": cmd_train,
         "predict": cmd_predict,
+        "serve-bench": cmd_serve_bench,
         "info": cmd_info,
         "bench": cmd_bench,
     }[args.command](args)

@@ -1,0 +1,127 @@
+"""Unified run configuration for the simulated cluster.
+
+Every entry point that launches a simulated job — :func:`repro.core.fit_parallel`,
+:class:`repro.core.SVC`, :func:`repro.core.decision_function_parallel`, the
+serving subsystem (:mod:`repro.serve`) and the CLI — historically grew its own
+copy of the same knobs: process count, shrinking heuristic, iteration engine,
+machine model, fault plan, tracing.  :class:`RunConfig` consolidates them into
+one value that can be built once and passed everywhere::
+
+    from repro import RunConfig, SVC
+
+    cfg = RunConfig(nprocs=8, heuristic="multi5pc", engine="packed",
+                    faults="seed=7;delay:src=0,nth=2,seconds=1e-4")
+    clf = SVC(C=10.0, sigma_sq=4.0, config=cfg).fit(X, y)
+    scores = repro.serve.serve_requests(clf.model_, X_req, config=cfg)
+
+The individual keyword arguments keep working everywhere (back-compat shims):
+an explicitly passed keyword overrides the corresponding ``RunConfig`` field.
+The sprawling per-call keywords are **deprecated in favour of RunConfig** —
+they are kept for compatibility and there is no removal planned, but new
+call sites should pass ``config=``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Optional
+
+from .perfmodel.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """All fit-/serve-time knobs of the simulated cluster in one place.
+
+    Parameters
+    ----------
+    nprocs:
+        Simulated MPI process count.
+    heuristic:
+        Table II shrinking heuristic name (or a
+        :class:`~repro.core.shrinking.Heuristic`); only consulted by the
+        training entry points.
+    engine:
+        Iteration engine (``"packed"`` / ``"legacy"``); ``None`` defers to
+        the ``REPRO_SVM_ENGINE`` environment variable.
+    machine:
+        :class:`~repro.perfmodel.machine.MachineSpec` for virtual-time
+        accounting (``None`` = the paper's Cascade testbed).
+    faults:
+        Deterministic fault-injection plan for the simulated runtime
+        (a :class:`~repro.mpi.faults.FaultPlan`, its spec string, or
+        ``None`` for a fault-free run).
+    deadlock_timeout:
+        Host-seconds watchdog for the simulated job.
+    trace:
+        Record a :class:`~repro.mpi.tracing.Tracer` event log on the job.
+    """
+
+    nprocs: int = 1
+    heuristic: Any = "multi5pc"
+    engine: Optional[str] = None
+    machine: Optional[MachineSpec] = None
+    faults: Any = None
+    deadlock_timeout: float = 120.0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.deadlock_timeout <= 0:
+            raise ValueError(
+                f"deadlock_timeout must be positive, got {self.deadlock_timeout}"
+            )
+
+    def replace(self, **overrides: Any) -> "RunConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def merged(self, **overrides: Any) -> "RunConfig":
+        """A copy where explicitly-given (non-``None``) overrides win.
+
+        This is the back-compat shim behind every entry point that still
+        accepts the individual keywords: ``None`` means "not passed, use
+        the config value".  ``trace`` merges on ``True`` (the keyword can
+        only turn tracing on, never silently off).
+        """
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(f"unknown RunConfig fields {sorted(unknown)}")
+        updates = {}
+        for name, value in overrides.items():
+            if name == "trace":
+                if value:
+                    updates[name] = True
+            elif value is not None:
+                updates[name] = value
+        return replace(self, **updates) if updates else self
+
+    def to_dict(self) -> dict:
+        """Plain-data summary (for reports; machine/faults stringified)."""
+        return {
+            "nprocs": self.nprocs,
+            "heuristic": (
+                self.heuristic
+                if isinstance(self.heuristic, str)
+                else getattr(self.heuristic, "name", str(self.heuristic))
+            ),
+            "engine": self.engine,
+            "machine": self.machine.name if self.machine is not None else None,
+            "faults": str(self.faults) if self.faults is not None else None,
+            "deadlock_timeout": self.deadlock_timeout,
+            "trace": self.trace,
+        }
+
+
+def resolve_config(config: Optional[RunConfig], **overrides: Any) -> RunConfig:
+    """The effective :class:`RunConfig` for one call.
+
+    ``config=None`` starts from the defaults; explicitly passed keywords
+    (non-``None``) override the config's fields.  This is the single
+    resolution rule shared by ``fit_parallel``, ``SVC``,
+    ``decision_function_parallel``, ``serve_requests`` and the CLI.
+    """
+    base = config if config is not None else RunConfig()
+    return base.merged(**overrides)

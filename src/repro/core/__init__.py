@@ -12,8 +12,9 @@ Layers, bottom-up:
 - :mod:`validation` — k-fold CV / grid search (§V-C).
 """
 
+from ..config import RunConfig
 from .libsvm_smo import LibsvmResult, solve_libsvm_style
-from .model import SVMModel
+from .model import SVMModel, load_model, save_model
 from .multiclass import MultiClassSVC
 from .params import ConvergenceError, SVMParams
 from .shrinking import (
@@ -33,6 +34,7 @@ from .predict import (
 from .solver import FitResult, fit_parallel
 from .svc import SVC, NotFittedError
 from .svr import SVR, SVRFitResult, fit_svr_parallel
+from .train import train
 from .trace import FitStats, RankTrace, ReconEvent, SolveTrace
 from .validation import (
     GridSearchResult,
@@ -56,6 +58,7 @@ __all__ = [
     "ParallelPrediction",
     "RankTrace",
     "ReconEvent",
+    "RunConfig",
     "SMOResult",
     "SVC",
     "SVR",
@@ -71,9 +74,12 @@ __all__ = [
     "get_heuristic",
     "grid_search",
     "kfold_indices",
+    "load_model",
     "predict_parallel",
+    "save_model",
     "solve_libsvm_style",
     "solve_sequential",
     "stratified_kfold_indices",
+    "train",
     "unsafe_variant",
 ]

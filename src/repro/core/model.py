@@ -92,48 +92,119 @@ class SVMModel:
     # serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-data representation (round-trips via :meth:`from_dict`)."""
+        """Plain-data representation (round-trips via :meth:`from_dict`).
+
+        Format version 2: every float travels bit-exactly — ``sv_coef``
+        as raw little-endian float64 bytes, ``beta`` and the kernel's
+        float hyperparameters as IEEE-754 hex strings (``float.hex``).
+        Version-1 dicts (plain JSON floats, flat kernel dict) are still
+        accepted by :meth:`from_dict`; JSON's shortest-repr floats are
+        value-exact for finite numbers, but the hex form is unambiguous
+        about signed zeros / subnormals and survives any non-Python
+        JSON round-trip unchanged.
+        """
         return {
+            "format": "repro-svm-model",
+            "version": 2,
             "sv_X": self.sv_X.to_bytes(),
-            "sv_coef": self.sv_coef.tolist(),
+            "sv_coef": np.ascontiguousarray(
+                self.sv_coef, dtype="<f8"
+            ).tobytes(),
             "sv_indices": self.sv_indices.tolist(),
-            "beta": self.beta,
-            "kernel": {"name": self.kernel.name, **self.kernel.params()},
+            "beta": float(self.beta).hex(),
+            "kernel": {
+                "name": self.kernel.name,
+                "params": {
+                    k: _encode_param(v) for k, v in self.kernel.params().items()
+                },
+            },
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "SVMModel":
-        kparams = dict(d["kernel"])
-        name = kparams.pop("name")
+        if d.get("version", 1) >= 2:
+            kspec = d["kernel"]
+            kernel = make_kernel(
+                kspec["name"],
+                **{k: _decode_param(v) for k, v in kspec["params"].items()},
+            )
+            coef_bytes = d["sv_coef"]
+            sv_coef = np.frombuffer(coef_bytes, dtype="<f8").astype(
+                np.float64, copy=True
+            )
+            beta = float.fromhex(d["beta"])
+        else:  # version-1 dicts (pre-exact format)
+            kparams = dict(d["kernel"])
+            kernel = make_kernel(kparams.pop("name"), **kparams)
+            sv_coef = np.asarray(d["sv_coef"], dtype=np.float64)
+            beta = float(d["beta"])
         return cls(
             sv_X=CSRMatrix.from_bytes(d["sv_X"]),
-            sv_coef=np.asarray(d["sv_coef"], dtype=np.float64),
+            sv_coef=sv_coef,
             sv_indices=np.asarray(d["sv_indices"], dtype=np.int64),
-            beta=float(d["beta"]),
-            kernel=make_kernel(name, **kparams),
+            beta=beta,
+            kernel=kernel,
         )
 
 
-def save_model(model: SVMModel, path) -> None:
-    """Write a model to a JSON file (support vectors base64-encoded)."""
+def _encode_param(v):
+    """JSON-safe, bit-exact kernel hyperparameter encoding."""
+    if isinstance(v, bool) or isinstance(v, int):
+        return v
+    if isinstance(v, float):
+        return {"hex": v.hex()}
+    raise TypeError(f"kernel parameter of unsupported type {type(v).__name__}")
+
+
+def _decode_param(v):
+    if isinstance(v, dict):
+        return float.fromhex(v["hex"])
+    return v
+
+
+def model_to_jsonable(model: SVMModel) -> dict:
+    """:meth:`SVMModel.to_dict` with byte fields base64-encoded.
+
+    The result is pure JSON data; shared by :func:`save_model` and the
+    ``SVC``/``MultiClassSVC`` persistence layers.
+    """
     import base64
-    import json
-    from pathlib import Path
 
     d = model.to_dict()
     d["sv_X"] = base64.b64encode(d["sv_X"]).decode("ascii")
-    Path(path).write_text(json.dumps(d), encoding="utf-8")
+    d["sv_coef"] = base64.b64encode(d["sv_coef"]).decode("ascii")
+    return d
 
 
-def load_model(path) -> SVMModel:
-    """Read a model written by :func:`save_model`."""
+def model_from_jsonable(d: dict) -> SVMModel:
+    """Inverse of :func:`model_to_jsonable` (accepts v1 and v2 dicts)."""
     import base64
+
+    d = dict(d)
+    d["sv_X"] = base64.b64decode(d["sv_X"])
+    if d.get("version", 1) >= 2:
+        d["sv_coef"] = base64.b64decode(d["sv_coef"])
+    return SVMModel.from_dict(d)
+
+
+def save_model(model: SVMModel, path) -> None:
+    """Write a model to a JSON file (byte fields base64-encoded)."""
     import json
     from pathlib import Path
 
-    d = json.loads(Path(path).read_text(encoding="utf-8"))
-    d["sv_X"] = base64.b64decode(d["sv_X"])
-    return SVMModel.from_dict(d)
+    Path(path).write_text(
+        json.dumps(model_to_jsonable(model)), encoding="utf-8"
+    )
+
+
+def load_model(path) -> SVMModel:
+    """Read a model written by :func:`save_model` (either format version)."""
+    import json
+    from pathlib import Path
+
+    return model_from_jsonable(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
 
 
 def _as_csr(X: Union[CSRMatrix, np.ndarray], n_features: int) -> CSRMatrix:

@@ -82,6 +82,59 @@ class MultiClassSVC:
         return float(np.mean(self.predict(X) == y))
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the fitted multiclass ensemble to a JSON file.
+
+        Stores the class vector (with dtype) plus every pairwise binary
+        machine in the bit-exact :meth:`SVC.save <repro.core.svc.SVC.save>`
+        format, so :meth:`load` reproduces ``predict`` bitwise in the
+        original label space.  Run-time knobs (``machine``, ``faults``,
+        ``config``) are not persisted.
+        """
+        import json
+        from pathlib import Path
+
+        self._check_fitted()
+        doc = {
+            "format": "repro-multiclass-svc",
+            "version": 1,
+            "classes": {
+                "values": self.classes_.tolist(),
+                "dtype": str(self.classes_.dtype),
+            },
+            "machines": [
+                {"i": i, "j": j, "svc": clf._to_jsonable()}
+                for (i, j), clf in sorted(self.machines_.items())
+            ],
+        }
+        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "MultiClassSVC":
+        """Load an ensemble written by :meth:`save` (fitted, ready to
+        predict)."""
+        import json
+        from pathlib import Path
+
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        if doc.get("format") != "repro-multiclass-svc":
+            raise ValueError(
+                f"not a repro-multiclass-svc document "
+                f"(format={doc.get('format')!r})"
+            )
+        obj = cls()
+        obj.classes_ = np.asarray(
+            doc["classes"]["values"], dtype=np.dtype(doc["classes"]["dtype"])
+        )
+        obj.machines_ = {
+            (int(m["i"]), int(m["j"])): SVC._from_jsonable(m["svc"])
+            for m in doc["machines"]
+        }
+        return obj
+
+    # ------------------------------------------------------------------
     @property
     def n_machines_(self) -> int:
         self._check_fitted()

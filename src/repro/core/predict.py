@@ -16,6 +16,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..config import RunConfig, resolve_config
 from ..mpi import SpmdResult, run_spmd
 from ..perfmodel.machine import MachineSpec
 from ..sparse.csr import CSRMatrix
@@ -43,15 +44,21 @@ def decision_function_parallel(
     model: SVMModel,
     X: Union[CSRMatrix, np.ndarray],
     *,
-    nprocs: int = 1,
+    config: Optional[RunConfig] = None,
+    nprocs: Optional[int] = None,
     machine: Optional[MachineSpec] = None,
 ) -> ParallelPrediction:
     """Evaluate ``model.decision_function`` over ``X`` on ``nprocs``
-    simulated ranks (block-row partition of the test set)."""
+    simulated ranks (block-row partition of the test set).
+
+    Prefer passing one :class:`~repro.config.RunConfig` via ``config=``;
+    the ``nprocs``/``machine`` keywords remain as back-compat shims and
+    override the config when given explicitly.
+    """
+    cfg = resolve_config(config, nprocs=nprocs, machine=machine)
+    nprocs, machine = cfg.nprocs, cfg.machine
     X = _as_csr(X, model.sv_X.shape[1])
     n = X.shape[0]
-    if nprocs < 1:
-        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
     if n == 0:
         raise ValueError("empty prediction input")
     nprocs = min(nprocs, n)
@@ -70,7 +77,10 @@ def decision_function_parallel(
             return np.concatenate(gathered)
         return None
 
-    spmd = run_spmd(entry, nprocs, machine=machine)
+    spmd = run_spmd(
+        entry, nprocs, machine=machine, trace=cfg.trace,
+        deadlock_timeout=cfg.deadlock_timeout, faults=cfg.faults,
+    )
     return ParallelPrediction(decision_values=spmd.results[0], spmd=spmd)
 
 
@@ -78,10 +88,11 @@ def predict_parallel(
     model: SVMModel,
     X: Union[CSRMatrix, np.ndarray],
     *,
-    nprocs: int = 1,
+    config: Optional[RunConfig] = None,
+    nprocs: Optional[int] = None,
     machine: Optional[MachineSpec] = None,
 ) -> np.ndarray:
     """±1 labels via :func:`decision_function_parallel`."""
     return decision_function_parallel(
-        model, X, nprocs=nprocs, machine=machine
+        model, X, config=config, nprocs=nprocs, machine=machine
     ).labels

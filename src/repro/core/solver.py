@@ -17,6 +17,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..config import RunConfig, resolve_config
 from ..mpi import SpmdResult, run_spmd
 from ..perfmodel.machine import MachineSpec
 from ..sparse.csr import CSRMatrix
@@ -69,15 +70,22 @@ def fit_parallel(
     y: np.ndarray,
     params: SVMParams,
     *,
-    heuristic: Union[str, Heuristic] = "multi5pc",
-    nprocs: int = 1,
+    config: Optional[RunConfig] = None,
+    heuristic: Optional[Union[str, Heuristic]] = None,
+    nprocs: Optional[int] = None,
     machine: Optional[MachineSpec] = None,
-    deadlock_timeout: float = 120.0,
+    deadlock_timeout: Optional[float] = None,
     warm_start_alpha: Optional[np.ndarray] = None,
     faults=None,
     engine: Optional[str] = None,
 ) -> FitResult:
     """Train with the distributed solver on ``nprocs`` simulated ranks.
+
+    Run-time knobs (``nprocs``, ``heuristic``, ``engine``, ``machine``,
+    ``faults``, ``deadlock_timeout``) are preferably passed as one
+    :class:`~repro.config.RunConfig` via ``config=``; the individual
+    keywords remain as back-compat shims and, when given explicitly,
+    override the config's fields (see :func:`repro.config.resolve_config`).
 
     ``nprocs`` may exceed the sample count: surplus ranks own zero rows
     and participate only in collectives and the reconstruction ring,
@@ -105,7 +113,18 @@ def fit_parallel(
     ``REPRO_SVM_ENGINE`` environment variable, falling back to
     ``"packed"``.
     """
-    engine = resolve_engine(engine)
+    cfg = resolve_config(
+        config,
+        heuristic=heuristic,
+        nprocs=nprocs,
+        machine=machine,
+        deadlock_timeout=deadlock_timeout,
+        faults=faults,
+        engine=engine,
+    )
+    heuristic, nprocs = cfg.heuristic, cfg.nprocs
+    machine, faults = cfg.machine, cfg.faults
+    engine = resolve_engine(cfg.engine)
     if not isinstance(X, CSRMatrix):
         X = CSRMatrix.from_dense(np.asarray(X, dtype=np.float64))
     y = np.asarray(y, dtype=np.float64)
@@ -152,8 +171,8 @@ def fit_parallel(
 
     t0 = time.perf_counter()
     spmd = run_spmd(
-        entry, nprocs, machine=machine, deadlock_timeout=deadlock_timeout,
-        faults=faults,
+        entry, nprocs, machine=machine, trace=cfg.trace,
+        deadlock_timeout=cfg.deadlock_timeout, faults=faults,
     )
     wall = time.perf_counter() - t0
     results: List[RankResult] = spmd.results

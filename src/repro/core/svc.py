@@ -17,6 +17,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..config import RunConfig, resolve_config
 from ..kernels import Kernel, RBFKernel, make_kernel
 from ..perfmodel.machine import MachineSpec
 from ..sparse.csr import CSRMatrix
@@ -69,6 +70,12 @@ class SVC:
         ``"legacy"``; ``None`` defers to the ``REPRO_SVM_ENGINE``
         environment variable (default ``"packed"``).  Both engines
         produce bitwise-identical models.
+    config:
+        A :class:`~repro.config.RunConfig` bundling the run-time knobs
+        (``nprocs``, ``heuristic``, ``engine``, ``machine``, ``faults``,
+        tracing).  The individual keywords above remain as back-compat
+        shims — when passed explicitly they override the config's fields.
+        New call sites should prefer ``config=``.
     """
 
     def __init__(
@@ -78,30 +85,40 @@ class SVC:
         gamma: Optional[float] = None,
         sigma_sq: Optional[float] = None,
         eps: float = 1e-3,
-        heuristic: Union[str, Heuristic] = "multi5pc",
-        nprocs: int = 1,
+        heuristic: Optional[Union[str, Heuristic]] = None,
+        nprocs: Optional[int] = None,
         machine: Optional[MachineSpec] = None,
         max_iter: int = 10_000_000,
         shrink_eps_factor: float = 10.0,
         class_weight: Optional[Union[dict, str]] = None,
         faults=None,
         engine: Optional[str] = None,
+        config: Optional[RunConfig] = None,
     ) -> None:
         if gamma is not None and sigma_sq is not None:
             raise ValueError("give either gamma or sigma_sq, not both")
+        cfg = resolve_config(
+            config,
+            heuristic=heuristic,
+            nprocs=nprocs,
+            machine=machine,
+            faults=faults,
+            engine=engine,
+        )
         self.C = C
         self.kernel = kernel
         self.gamma = gamma
         self.sigma_sq = sigma_sq
         self.eps = eps
-        self.heuristic = heuristic
-        self.nprocs = nprocs
-        self.machine = machine
+        self.heuristic = cfg.heuristic
+        self.nprocs = cfg.nprocs
+        self.machine = cfg.machine
         self.max_iter = max_iter
         self.shrink_eps_factor = shrink_eps_factor
         self.class_weight = class_weight
-        self.faults = faults
-        self.engine = engine
+        self.faults = cfg.faults
+        self.engine = cfg.engine
+        self.config = cfg
 
         self.model_ = None
         self.fit_result_: Optional[FitResult] = None
@@ -159,6 +176,16 @@ class SVC:
             weight_neg=weight_neg,
         )
 
+    def _run_config(self) -> RunConfig:
+        """The effective RunConfig, folding in any ``set_params`` edits."""
+        return self.config.replace(
+            heuristic=self.heuristic,
+            nprocs=self.nprocs,
+            machine=self.machine,
+            faults=self.faults,
+            engine=self.engine,
+        )
+
     # ------------------------------------------------------------------
     def fit(self, X, y) -> "SVC":
         """Train on ``(X, y)``; y may use any two label values."""
@@ -176,11 +203,9 @@ class SVC:
             X,
             y_signed,
             self._params(weight_neg, weight_pos),
-            heuristic=get_heuristic(self.heuristic),
-            nprocs=self.nprocs,
-            machine=self.machine,
-            faults=self.faults,
-            engine=self.engine,
+            config=self._run_config().replace(
+                heuristic=get_heuristic(self.heuristic)
+            ),
         )
         self.model_ = self.fit_result_.model
         return self
@@ -258,3 +283,89 @@ class SVC:
                 raise ValueError(f"unknown parameter {k!r}")
             setattr(self, k, v)
         return self
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the fitted classifier (labels + model) to a JSON file.
+
+        On top of the bit-exact :func:`~repro.core.model.save_model`
+        format this records the original label space (``classes_`` with
+        dtype) and the scalar hyperparameters, so :meth:`load` returns a
+        classifier whose ``predict`` output is bitwise identical in the
+        original labels.  Run-time-only knobs (``machine``, ``faults``)
+        are not persisted — they describe the simulated cluster, not the
+        model.
+        """
+        import json
+        from pathlib import Path
+
+        self._check_fitted()
+        Path(path).write_text(
+            json.dumps(self._to_jsonable()), encoding="utf-8"
+        )
+
+    def _to_jsonable(self) -> dict:
+        from .model import model_to_jsonable
+
+        cw = self.class_weight
+        if isinstance(cw, dict):
+            # JSON stringifies dict keys; a pair list keeps label types
+            cw = {"pairs": [[k, float(v)] for k, v in cw.items()]}
+        return {
+            "format": "repro-svc",
+            "version": 1,
+            "classes": {
+                "values": self.classes_.tolist(),
+                "dtype": str(self.classes_.dtype),
+            },
+            "params": {
+                "C": self.C,
+                "gamma": self.gamma,
+                "sigma_sq": self.sigma_sq,
+                "eps": self.eps,
+                "heuristic": (
+                    self.heuristic
+                    if isinstance(self.heuristic, str)
+                    else self.heuristic.name
+                ),
+                "nprocs": self.nprocs,
+                "max_iter": self.max_iter,
+                "shrink_eps_factor": self.shrink_eps_factor,
+                "class_weight": cw,
+                "engine": self.engine,
+            },
+            "model": model_to_jsonable(self.model_),
+        }
+
+    @classmethod
+    def load(cls, path) -> "SVC":
+        """Load a classifier written by :meth:`save` (fitted, ready to
+        predict; ``fit_result_`` is not persisted)."""
+        import json
+        from pathlib import Path
+
+        return cls._from_jsonable(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+    @classmethod
+    def _from_jsonable(cls, doc: dict) -> "SVC":
+        from .model import model_from_jsonable
+
+        if doc.get("format") != "repro-svc":
+            raise ValueError(
+                f"not a repro-svc document (format={doc.get('format')!r})"
+            )
+        params = dict(doc["params"])
+        cw = params.get("class_weight")
+        if isinstance(cw, dict):
+            params["class_weight"] = {k: v for k, v in cw["pairs"]}
+        model = model_from_jsonable(doc["model"])
+        clf = cls(kernel=model.kernel, **params)
+        clf.model_ = model
+        clf.classes_ = np.asarray(
+            doc["classes"]["values"], dtype=np.dtype(doc["classes"]["dtype"])
+        )
+        return clf

@@ -1,0 +1,41 @@
+"""One-call training entry point for the public facade.
+
+``repro.train(X, y)`` dispatches on the number of classes: two labels
+train a binary :class:`~repro.core.svc.SVC`, more train a one-vs-one
+:class:`~repro.core.multiclass.MultiClassSVC`.  All hyperparameters and
+the :class:`~repro.config.RunConfig` pass straight through::
+
+    import repro
+
+    clf = repro.train(X, y, C=10.0, sigma_sq=4.0,
+                      config=repro.RunConfig(nprocs=8))
+    clf.save("model.json")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..config import RunConfig
+from .multiclass import MultiClassSVC
+from .svc import SVC
+
+
+def train(
+    X, y, *, config: Optional[RunConfig] = None, **svc_params
+) -> Union[SVC, MultiClassSVC]:
+    """Fit a classifier on ``(X, y)`` and return it.
+
+    Two distinct labels produce a fitted :class:`SVC`; three or more a
+    fitted :class:`MultiClassSVC` (one-vs-one).  ``svc_params`` are the
+    :class:`SVC` constructor arguments; run-time knobs ride in
+    ``config``.
+    """
+    classes = np.unique(np.asarray(y))
+    if classes.size < 2:
+        raise ValueError(f"need at least two classes, got {classes.size}")
+    if classes.size == 2:
+        return SVC(config=config, **svc_params).fit(X, y)
+    return MultiClassSVC(config=config, **svc_params).fit(X, y)

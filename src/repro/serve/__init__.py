@@ -1,0 +1,64 @@
+"""``repro.serve`` — deterministic microbatched model serving.
+
+The serving subsystem scores streams of single-row requests against a
+trained :class:`~repro.core.model.SVMModel` on the simulated runtime:
+
+- :mod:`batching` — the microbatch scheduler (max-batch / max-delay /
+  bounded-queue policy over a discrete-event simulated clock);
+- :mod:`cache` — LRU result cache keyed by request-row content;
+- :mod:`server` — :func:`serve_requests`, the SPMD session pairing a
+  rank-0 frontend with support-vector-sharded scorer ranks;
+- :mod:`stats` — latency percentiles / throughput / cache report;
+- :mod:`loadgen` — seeded arrival streams and request sampling.
+
+Scores from the default ``reduction="slab"`` path are bitwise identical
+to ``SVMModel.decision_function`` for every batch policy, arrival
+order, shard count and cache state — serving is an optimization, never
+a numerics change.
+"""
+
+from .batching import (
+    CACHE_HIT,
+    REJECTED,
+    SCORED,
+    BatchPolicy,
+    Schedule,
+    SlabRecord,
+    run_schedule,
+)
+from .cache import ResultCache, request_key
+from .loadgen import (
+    burst_arrivals,
+    poisson_arrivals,
+    sample_requests,
+    uniform_arrivals,
+)
+from .server import (
+    DISPATCH_OVERHEAD_FLOPS,
+    REQUEST_OVERHEAD_FLOPS,
+    ServeResult,
+    serve_requests,
+)
+from .stats import ServeStats, build_stats
+
+__all__ = [
+    "BatchPolicy",
+    "CACHE_HIT",
+    "DISPATCH_OVERHEAD_FLOPS",
+    "REJECTED",
+    "REQUEST_OVERHEAD_FLOPS",
+    "ResultCache",
+    "SCORED",
+    "Schedule",
+    "ServeResult",
+    "ServeStats",
+    "SlabRecord",
+    "build_stats",
+    "burst_arrivals",
+    "poisson_arrivals",
+    "request_key",
+    "run_schedule",
+    "sample_requests",
+    "serve_requests",
+    "uniform_arrivals",
+]

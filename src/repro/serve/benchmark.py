@@ -1,0 +1,193 @@
+"""The serving benchmark: batch policy × shard count sweep.
+
+Trains one binary machine on the mushrooms miniature, then replays a
+burst of single-row score requests through :func:`serve_requests` for
+every (``max_batch``, ``nprocs``) combination, asserting on every
+configuration that the served scores are **bitwise identical** to a
+direct ``SVMModel.decision_function`` pass over the same rows.  Two
+extra runs exercise the result cache (a duplicate-heavy workload) and
+fault injection on the serving path.
+
+The headline numbers are the batch-64 vs batch-1 speedups per shard
+count, in both modeled (virtual-clock) and host (wall-second)
+throughput; the acceptance bar is ≥ 3× on both at ``max_batch=64``.
+``repro serve-bench`` and ``benchmarks/bench_serve.py`` both route
+here; the report lands in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import RunConfig
+from ..core.svc import SVC
+from ..data import DATASETS, load_dataset
+from ..sparse.csr import CSRMatrix
+from .batching import BatchPolicy
+from .loadgen import burst_arrivals, sample_requests
+from .server import serve_requests
+
+DATASET = "mushrooms"
+N_REQUESTS = 512
+QUICK_REQUESTS = 128
+NPROCS_SWEEP = (1, 2, 4)
+BATCH_SWEEP = (1, 8, 64)
+#: the acceptance bar: batch-64 throughput vs single-request scoring
+SPEEDUP_BAR = 3.0
+BASE_BATCH, TOP_BATCH = 1, 64
+
+
+def _train_model(scale: Optional[float] = None):
+    entry = DATASETS[DATASET]
+    ds = load_dataset(DATASET, scale=scale)
+    clf = SVC(
+        C=entry.C, sigma_sq=entry.sigma_sq,
+        config=RunConfig(nprocs=2),
+    ).fit(ds.X_train, ds.y_train)
+    return clf.model_, ds.X_train
+
+
+def run_serve_bench(quick: bool = False) -> dict:
+    n_requests = QUICK_REQUESTS if quick else N_REQUESTS
+    model, pool = _train_model(scale=None)
+    X_req = sample_requests(pool, n_requests, seed=7)
+    arrivals = burst_arrivals(n_requests)
+    direct = model.decision_function(X_req)
+
+    configs: List[Dict] = []
+    for nprocs in NPROCS_SWEEP:
+        for max_batch in BATCH_SWEEP:
+            res = serve_requests(
+                model, X_req, arrivals,
+                policy=BatchPolicy(max_batch=max_batch, max_delay=0.0),
+                config=RunConfig(nprocs=nprocs),
+            )
+            if not np.array_equal(res.scores, direct):
+                raise AssertionError(
+                    f"served scores diverge from direct scoring "
+                    f"(nprocs={nprocs}, max_batch={max_batch})"
+                )
+            s = res.stats
+            configs.append({
+                "nprocs": nprocs,
+                "max_batch": max_batch,
+                "n_requests": n_requests,
+                "n_slabs": s.n_slabs,
+                "throughput_modeled": s.throughput,
+                "throughput_host": n_requests / s.wall_seconds,
+                "makespan_modeled": s.makespan,
+                "wall_seconds": s.wall_seconds,
+                "latency_p50": s.latency_p50,
+                "latency_p99": s.latency_p99,
+                "messages": s.total_messages,
+                "bytes_sent": s.total_bytes_sent,
+                "bitwise_identical": True,
+            })
+
+    speedups = []
+    by_key = {(c["nprocs"], c["max_batch"]): c for c in configs}
+    for nprocs in NPROCS_SWEEP:
+        base, top = by_key[(nprocs, BASE_BATCH)], by_key[(nprocs, TOP_BATCH)]
+        speedups.append({
+            "nprocs": nprocs,
+            "modeled_speedup": (
+                top["throughput_modeled"] / base["throughput_modeled"]
+            ),
+            "host_speedup": top["throughput_host"] / base["throughput_host"],
+        })
+
+    # duplicate-heavy replay: two waves of the same requests, the second
+    # arriving after the first has fully drained — a burst alone admits
+    # every request before any slab completes, so nothing can hit
+    X_wave = sample_requests(pool, n_requests, seed=11)
+    X_dup = CSRMatrix.vstack([X_wave, X_wave])
+    wave_arrivals = np.concatenate(
+        [np.zeros(n_requests), np.full(n_requests, 1.0)]
+    )
+    cached = serve_requests(
+        model, X_dup, wave_arrivals,
+        policy=BatchPolicy(max_batch=64, max_delay=0.0),
+        config=RunConfig(nprocs=2), cache_entries=2 * n_requests,
+    )
+    if not np.array_equal(cached.scores, model.decision_function(X_dup)):
+        raise AssertionError("cached serving diverges from direct scoring")
+
+    # fault injection on the serving path: dropped slab messages are
+    # retried by the runtime, scores stay bitwise exact
+    faulty = serve_requests(
+        model, X_req, arrivals,
+        policy=BatchPolicy(max_batch=32, max_delay=0.0),
+        config=RunConfig(nprocs=2, faults="drop:p=0.02,seed=5"),
+    )
+    if not np.array_equal(faulty.scores, direct):
+        raise AssertionError("serving under faults diverges from direct scoring")
+
+    return {
+        "benchmark": "serve",
+        "dataset": DATASET,
+        "quick": quick,
+        "n_sv": model.n_sv,
+        "n_requests": n_requests,
+        "speedup_bar": SPEEDUP_BAR,
+        "configs": configs,
+        "speedups": speedups,
+        "cache_replay": {
+            "waves": 2,
+            **{k: cached.stats.cache[k]
+               for k in ("hits", "misses", "hit_rate")},
+            "bitwise_identical": True,
+        },
+        "faulted_run": {
+            "faults": "drop:p=0.02,seed=5",
+            "bitwise_identical": True,
+            "fault_stats": faulty.spmd.fault_stats["stats"]
+            if faulty.spmd.fault_stats else None,
+        },
+    }
+
+
+def check_bars(report: dict) -> None:
+    """Assert the acceptance bars over a finished report."""
+    for s in report["speedups"]:
+        if s["modeled_speedup"] < report["speedup_bar"]:
+            raise AssertionError(
+                f"modeled batch-{TOP_BATCH} speedup {s['modeled_speedup']:.2f}x "
+                f"below {report['speedup_bar']}x at nprocs={s['nprocs']}"
+            )
+        if s["host_speedup"] < report["speedup_bar"]:
+            raise AssertionError(
+                f"host batch-{TOP_BATCH} speedup {s['host_speedup']:.2f}x "
+                f"below {report['speedup_bar']}x at nprocs={s['nprocs']}"
+            )
+    if report["cache_replay"]["hit_rate"] <= 0.0:
+        raise AssertionError("duplicate-heavy replay produced no cache hits")
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"serve bench ({'quick' if report['quick'] else 'full'}): "
+        f"{report['dataset']}, n_sv={report['n_sv']}, "
+        f"{report['n_requests']} requests (burst)",
+        f"{'p':>3} {'batch':>5} {'slabs':>5} {'thr model (req/s)':>18} "
+        f"{'thr host (req/s)':>17} {'p50 lat':>9} {'p99 lat':>9}",
+    ]
+    for c in report["configs"]:
+        lines.append(
+            f"{c['nprocs']:>3} {c['max_batch']:>5} {c['n_slabs']:>5} "
+            f"{c['throughput_modeled']:>18,.0f} "
+            f"{c['throughput_host']:>17,.0f} "
+            f"{c['latency_p50'] * 1e6:>7.1f}us {c['latency_p99'] * 1e6:>7.1f}us"
+        )
+    for s in report["speedups"]:
+        lines.append(
+            f"batch {TOP_BATCH} vs {BASE_BATCH} at p={s['nprocs']}: "
+            f"modeled {s['modeled_speedup']:.1f}x, host {s['host_speedup']:.1f}x"
+        )
+    cr = report["cache_replay"]
+    lines.append(
+        f"cache replay ({cr['waves']} waves): "
+        f"hit rate {cr['hit_rate']:.2f} ({cr['hits']} hits)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""LRU result cache for the serving path.
+
+Keyed by request-row *content* (the CSR indices+values byte strings), so
+two requests carrying the same feature vector hit regardless of where
+the rows came from.  Values are the finished decision-function scores —
+a hit skips kernel evaluation, sharded reduction, and the queue
+entirely, and because every cached value was produced by the same
+bitwise-deterministic scoring pipeline, replaying from cache cannot
+change a score.
+
+Entry-bounded LRU on an ``OrderedDict``, same discipline as the
+fit-time :class:`~repro.kernels.cache.KernelRowCache`; capacity 0
+disables caching (every probe is a miss, nothing is stored).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..sparse.csr import CSRMatrix
+
+
+def request_key(X: CSRMatrix, row: int) -> bytes:
+    """Content hash key for one request row (exact, not lossy)."""
+    lo, hi = X.indptr[row], X.indptr[row + 1]
+    return X.indices[lo:hi].tobytes() + b"|" + X.data[lo:hi].tobytes()
+
+
+class ResultCache:
+    """Bounded LRU mapping request-row content -> decision value."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._store: "OrderedDict[bytes, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: bytes) -> Optional[float]:
+        """Probe; counts a hit or miss and refreshes recency on hit."""
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: bytes, value: float) -> None:
+        """Insert a finished score, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._store:
+            self._store.move_to_end(key)
+            self._store[key] = value
+            return
+        if len(self._store) >= self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        self._store[key] = value
+
+    def stats(self) -> Dict[str, float]:
+        probes = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / probes if probes else 0.0,
+        }

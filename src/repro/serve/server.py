@@ -1,0 +1,228 @@
+"""The serving session: microbatch frontend + sharded SPMD scorer.
+
+One call to :func:`serve_requests` runs a whole serving session as a
+single simulated-MPI job.  Rank 0 is the *frontend*: it drives the
+discrete-event :func:`~repro.serve.batching.run_schedule` loop over the
+arrival stream, probes the :class:`~repro.serve.cache.ResultCache` at
+admission, and dispatches each coalesced slab to the scorer.  All ranks
+(frontend included) are *scorer shards*: the support vectors are block-
+partitioned across the communicator, each rank evaluates its kernel
+sub-slab against the broadcast request rows, and rank 0 assembles the
+full-width slab before the weighted row reduction.
+
+Bitwise determinism
+-------------------
+The default ``reduction="slab"`` gathers the per-shard *weighted kernel
+sub-slabs* and concatenates them in rank order before a single
+full-width ``np.add.reduce`` on rank 0.  Kernel entries are elementwise
+functions of per-row dot products (column-blocking the SV side of
+``dot_csr_t`` is bitwise-stable), so the assembled slab is bitwise
+identical to the one ``SVMModel.decision_function`` builds — and the
+reduction then runs over the identical array.  Scores are therefore
+bitwise equal to direct scoring for ANY nprocs, batch size, arrival
+order, or cache state.
+
+``reduction="sums"`` instead reduces per-shard partial row sums (the
+classic allreduce pattern, nprocs× less traffic).  Floating-point
+addition does not associate across shard boundaries, so this mode is
+only ``allclose`` to direct scoring — it exists to measure what the
+bandwidth-optimal reduction would cost, not to serve exact answers.
+
+Fault injection rides for free: the slab broadcast/gather use the same
+mailbox delivery path as training, so a ``faults=`` plan (or the CLI's
+``--faults``) exercises recovery on the serving path too.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..config import RunConfig, resolve_config
+from ..mpi import SpmdResult, run_spmd
+from ..perfmodel.machine import MachineSpec
+from ..sparse.csr import CSRMatrix
+from ..sparse.partition import BlockPartition
+from ..core.model import SVMModel, _as_csr
+from .batching import BatchPolicy, Schedule, run_schedule
+from .cache import ResultCache, request_key
+from .stats import ServeStats, build_stats
+
+#: modeled frontend cost per *dispatch* (flops): request framing, batch
+#: assembly, scorer hand-off and response fan-out — the fixed RPC-ish
+#: overhead that microbatching amortizes (~300 us at cascade's 4 GF/s)
+DISPATCH_OVERHEAD_FLOPS = 1_200_000.0
+
+#: modeled frontend cost per *request* inside a slab (flops): admission
+#: bookkeeping, cache probe, per-response serialization (~1.25 us)
+REQUEST_OVERHEAD_FLOPS = 5_000.0
+
+
+@dataclass
+class ServeResult:
+    """Everything one serving session produced."""
+
+    #: decision-function value per request (NaN for rejected requests)
+    scores: np.ndarray
+    #: per-request disposition (batching.SCORED / CACHE_HIT / REJECTED)
+    status: np.ndarray
+    #: simulated completion time per request (NaN for rejected)
+    completion_times: np.ndarray
+    #: completion − arrival (NaN for rejected)
+    latencies: np.ndarray
+    stats: ServeStats
+    schedule: Schedule
+    spmd: SpmdResult
+
+
+def serve_requests(
+    model: SVMModel,
+    X: Union[CSRMatrix, np.ndarray],
+    arrivals: Optional[np.ndarray] = None,
+    *,
+    policy: Optional[BatchPolicy] = None,
+    config: Optional[RunConfig] = None,
+    nprocs: Optional[int] = None,
+    machine: Optional[MachineSpec] = None,
+    faults=None,
+    cache_entries: int = 0,
+    reduction: str = "slab",
+) -> ServeResult:
+    """Serve one stream of single-row score requests against ``model``.
+
+    ``X`` holds one request row per arrival; ``arrivals`` is the
+    nondecreasing simulated arrival time of each row (default: a burst
+    at t=0).  ``policy`` sets the microbatching knobs, ``cache_entries``
+    the result-cache capacity (0 = no cache).  Run-time knobs
+    (``nprocs``, ``machine``, ``faults``…) ride in one
+    :class:`~repro.config.RunConfig` via ``config=``, with the keywords
+    as overriding shims, exactly like the fit/predict entry points.
+    """
+    cfg = resolve_config(config, nprocs=nprocs, machine=machine, faults=faults)
+    policy = policy or BatchPolicy()
+    if reduction not in ("slab", "sums"):
+        raise ValueError(
+            f"reduction must be 'slab' or 'sums', got {reduction!r}"
+        )
+    if cfg.nprocs > model.n_sv:
+        raise ValueError(
+            f"nprocs={cfg.nprocs} exceeds n_sv={model.n_sv}: "
+            f"every rank needs a non-empty support-vector shard"
+        )
+
+    X = _as_csr(X, model.sv_X.shape[1])
+    n = X.shape[0]
+    if arrivals is None:
+        arrivals = np.zeros(n)
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    if arrivals.shape != (n,):
+        raise ValueError(
+            f"{arrivals.shape[0]} arrival times for {n} request rows"
+        )
+
+    machine_eff = cfg.machine if cfg.machine is not None else MachineSpec.cascade()
+    norms = X.row_norms_sq()
+    part = BlockPartition(model.n_sv, cfg.nprocs)
+    avg_nnz = model.sv_X.avg_row_nnz or 1.0
+    cache = ResultCache(cache_entries)
+    scores = np.full(n, np.nan)
+    schedule_box = {}
+
+    def partial_slab(comm, rows: CSRMatrix, row_norms: np.ndarray) -> np.ndarray:
+        """This rank's weighted kernel sub-slab against its SV shard."""
+        lo, hi = part.bounds(comm.rank)
+        sub = model.kernel.block(
+            rows, row_norms, model.sv_X.row_slice(lo, hi),
+            model._sv_norms[lo:hi],
+        )
+        sub *= model.sv_coef[lo:hi]
+        comm.charge_kernel_evals(rows.shape[0] * (hi - lo), avg_nnz)
+        return sub
+
+    def frontend(comm) -> None:
+        def admit(i: int, t: float) -> bool:
+            value = cache.get(request_key(X, i))
+            if value is None:
+                return False
+            scores[i] = value
+            return True
+
+        def dispatch(ids: np.ndarray, t_dispatch: float) -> float:
+            # the frontend was idle (or queue-waiting) until the trigger
+            comm.clock.sync_to(t_dispatch, kind="idle")
+            comm.advance(machine_eff.time_flops(
+                DISPATCH_OVERHEAD_FLOPS
+                + REQUEST_OVERHEAD_FLOPS * ids.size
+            ))
+            rows = X.take_rows(ids)
+            row_norms = norms[ids]
+            comm.bcast((rows, row_norms), root=0)
+            own = partial_slab(comm, rows, row_norms)
+            if reduction == "slab":
+                parts = comm.gather(own, root=0)
+                slab = np.hstack(parts)
+                # full-width weighted row sum — identical array, identical
+                # reduction order as SVMModel.decision_function
+                values = np.add.reduce(slab, axis=1) - model.beta
+                comm.advance(machine_eff.time_flops(slab.size))
+            else:
+                partial = np.add.reduce(own, axis=1)
+                comm.advance(machine_eff.time_flops(own.size))
+                values = comm.reduce(partial, root=0) - model.beta
+            scores[ids] = values
+            for i, v in zip(ids, values):
+                cache.put(request_key(X, int(i)), float(v))
+            return comm.vtime
+
+        schedule_box["schedule"] = run_schedule(
+            arrivals, policy, dispatch, admit=admit
+        )
+        comm.bcast(None, root=0)  # sentinel: session over
+
+    def worker(comm) -> None:
+        while True:
+            msg = comm.bcast(None, root=0)
+            if msg is None:
+                return
+            rows, row_norms = msg
+            own = partial_slab(comm, rows, row_norms)
+            if reduction == "slab":
+                comm.gather(own, root=0)
+            else:
+                partial = np.add.reduce(own, axis=1)
+                comm.advance(machine_eff.time_flops(own.size))
+                comm.reduce(partial, root=0)
+
+    def entry(comm):
+        if comm.rank == 0:
+            frontend(comm)
+        else:
+            worker(comm)
+
+    t0 = time.perf_counter()
+    spmd = run_spmd(
+        entry, cfg.nprocs, machine=machine_eff, trace=cfg.trace,
+        deadlock_timeout=cfg.deadlock_timeout, faults=cfg.faults,
+    )
+    wall = time.perf_counter() - t0
+
+    schedule = schedule_box["schedule"]
+    stats = build_stats(
+        schedule, arrivals, cache.stats(),
+        nprocs=cfg.nprocs,
+        total_bytes_sent=spmd.total_bytes_sent,
+        total_messages=spmd.total_messages,
+        wall_seconds=wall,
+    )
+    return ServeResult(
+        scores=scores,
+        status=schedule.status,
+        completion_times=schedule.completion,
+        latencies=schedule.latencies(arrivals),
+        stats=stats,
+        schedule=schedule,
+        spmd=spmd,
+    )

@@ -1,0 +1,126 @@
+"""Serving session report: latency percentiles, throughput, cache.
+
+Latencies and throughput come in two flavours, matching the rest of the
+repo: *modeled* (the per-rank virtual clocks — what the cascade testbed
+would measure) and *host* (wall seconds actually burned in-process).
+Modeled numbers are deterministic; host numbers are informational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .batching import CACHE_HIT, REJECTED, SCORED, Schedule
+
+
+@dataclass
+class ServeStats:
+    """Aggregate report for one serving session."""
+
+    n_requests: int
+    n_scored: int
+    n_cache_hits: int
+    n_rejected: int
+    n_slabs: int
+    mean_slab_size: float
+    peak_queue_depth: int
+
+    # simulated-clock latency over completed (scored + hit) requests
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+    latency_max: float
+    latency_mean: float
+
+    #: completed requests per simulated second (makespan = last
+    #: completion − first arrival)
+    throughput: float
+    makespan: float
+
+    cache: Dict[str, float] = field(default_factory=dict)
+
+    # communication + host-side costs of the SPMD session
+    nprocs: int = 1
+    total_bytes_sent: int = 0
+    total_messages: int = 0
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_requests": self.n_requests,
+            "n_scored": self.n_scored,
+            "n_cache_hits": self.n_cache_hits,
+            "n_rejected": self.n_rejected,
+            "n_slabs": self.n_slabs,
+            "mean_slab_size": self.mean_slab_size,
+            "peak_queue_depth": self.peak_queue_depth,
+            "latency_p50": self.latency_p50,
+            "latency_p90": self.latency_p90,
+            "latency_p99": self.latency_p99,
+            "latency_max": self.latency_max,
+            "latency_mean": self.latency_mean,
+            "throughput": self.throughput,
+            "makespan": self.makespan,
+            "cache": dict(self.cache),
+            "nprocs": self.nprocs,
+            "total_bytes_sent": self.total_bytes_sent,
+            "total_messages": self.total_messages,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def build_stats(
+    schedule: Schedule,
+    arrivals: np.ndarray,
+    cache_stats: Dict[str, float],
+    *,
+    nprocs: int = 1,
+    total_bytes_sent: int = 0,
+    total_messages: int = 0,
+    wall_seconds: float = 0.0,
+) -> ServeStats:
+    """Fold one schedule + cache counters into a :class:`ServeStats`."""
+    status = schedule.status
+    done = (status == SCORED) | (status == CACHE_HIT)
+    lat = schedule.latencies(np.asarray(arrivals, dtype=np.float64))[done]
+
+    if lat.size:
+        p50, p90, p99 = np.percentile(lat, [50, 90, 99])
+        lat_max, lat_mean = float(lat.max()), float(lat.mean())
+    else:
+        p50 = p90 = p99 = lat_max = lat_mean = float("nan")
+
+    n_done = int(done.sum())
+    if n_done:
+        makespan = float(
+            schedule.completion[done].max() - arrivals[done].min()
+        )
+    else:
+        makespan = 0.0
+    throughput = n_done / makespan if makespan > 0 else float("inf")
+
+    sizes: List[int] = [s.size for s in schedule.slabs]
+    return ServeStats(
+        n_requests=int(status.size),
+        n_scored=int((status == SCORED).sum()),
+        n_cache_hits=int((status == CACHE_HIT).sum()),
+        n_rejected=int((status == REJECTED).sum()),
+        n_slabs=len(sizes),
+        mean_slab_size=float(np.mean(sizes)) if sizes else 0.0,
+        peak_queue_depth=schedule.peak_queue_depth,
+        latency_p50=float(p50),
+        latency_p90=float(p90),
+        latency_p99=float(p99),
+        latency_max=lat_max,
+        latency_mean=lat_mean,
+        throughput=throughput,
+        makespan=makespan,
+        cache=dict(cache_stats),
+        nprocs=nprocs,
+        total_bytes_sent=total_bytes_sent,
+        total_messages=total_messages,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,82 @@
+"""Result-cache unit tests: LRU discipline and hit accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RunConfig
+from repro.serve import BatchPolicy, ResultCache, request_key, serve_requests
+from repro.sparse import CSRMatrix
+
+
+def test_lru_eviction_order():
+    c = ResultCache(2)
+    c.put(b"a", 1.0)
+    c.put(b"b", 2.0)
+    assert c.get(b"a") == 1.0  # refreshes a
+    c.put(b"c", 3.0)  # evicts b (LRU)
+    assert c.get(b"b") is None
+    assert c.get(b"a") == 1.0 and c.get(b"c") == 3.0
+    assert c.evictions == 1
+
+
+def test_hit_miss_accounting():
+    c = ResultCache(4)
+    assert c.get(b"x") is None
+    c.put(b"x", 7.0)
+    assert c.get(b"x") == 7.0
+    assert (c.hits, c.misses) == (1, 1)
+    assert c.stats()["hit_rate"] == 0.5
+
+
+def test_capacity_zero_disables():
+    c = ResultCache(0)
+    c.put(b"x", 1.0)
+    assert c.get(b"x") is None
+    assert len(c) == 0 and c.misses == 1  # the probe misses
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(-1)
+
+
+def test_request_key_is_content_based():
+    X = CSRMatrix.from_dense(
+        np.array([[1.0, 0.0, 2.0], [1.0, 0.0, 2.0], [1.0, 0.0, 3.0]])
+    )
+    assert request_key(X, 0) == request_key(X, 1)
+    assert request_key(X, 0) != request_key(X, 2)
+
+
+def test_serve_hit_accounting_exact(served_model, requests_60):
+    """Second wave of an identical request stream hits entirely."""
+    model, _ = served_model
+    X2 = CSRMatrix.vstack([requests_60, requests_60])
+    arrivals = np.concatenate([np.zeros(60), np.full(60, 5.0)])
+    res = serve_requests(
+        model, X2, arrivals,
+        policy=BatchPolicy(max_batch=64, max_delay=0.0),
+        config=RunConfig(nprocs=1), cache_entries=256,
+    )
+    # wave 1 contains duplicates (duplicate_fraction=0.25 in the pool
+    # sample) but they all miss — the burst admits everything before the
+    # first slab completes.  Wave 2 arrives after the drain: all 60 hit.
+    assert res.stats.n_cache_hits == 60
+    assert np.all(res.status[60:] == 2)  # CACHE_HIT
+    assert res.stats.cache["hits"] == 60
+    assert res.stats.cache["hit_rate"] == pytest.approx(0.5)
+    # hits complete at their arrival instant: zero queueing latency
+    assert np.all(res.latencies[60:] == 0.0)
+
+
+def test_serve_cache_disabled_by_default(served_model, requests_60):
+    model, _ = served_model
+    res = serve_requests(
+        model, requests_60, None,
+        policy=BatchPolicy(max_batch=16),
+        config=RunConfig(nprocs=1),
+    )
+    assert res.stats.n_cache_hits == 0
+    assert res.stats.cache["capacity"] == 0
