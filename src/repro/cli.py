@@ -38,7 +38,20 @@ def _machine(name: str) -> MachineSpec:
         return MachineSpec.cascade()
     if name == "python-host":
         return MachineSpec.python_host(calibrate=True)
-    raise SystemExit(f"unknown machine {name!r} (cascade | python-host)")
+    if name == "multinode" or name.startswith("multinode:"):
+        # "multinode" = 16 ranks/node (the Cascade node width);
+        # "multinode:<k>" places k ranks per node
+        rpn = 16
+        if ":" in name:
+            try:
+                rpn = int(name.split(":", 1)[1])
+            except ValueError:
+                raise SystemExit(f"bad ranks-per-node in machine {name!r}")
+        return MachineSpec.multinode(ranks_per_node=rpn)
+    raise SystemExit(
+        f"unknown machine {name!r} (cascade | python-host | "
+        f"multinode | multinode:<ranks_per_node>)"
+    )
 
 
 def _add_train(sub) -> None:
@@ -66,6 +79,9 @@ def _add_train(sub) -> None:
     p.add_argument("--engine", default=None, choices=("packed", "legacy"),
                    help="iteration engine (default: packed, or the "
                         "REPRO_SVM_ENGINE environment variable)")
+    p.add_argument("--comm", default=None, choices=("flat", "hierarchical"),
+                   help="collective suite (default: flat, or the "
+                        "REPRO_SVM_COMM environment variable)")
     p.add_argument("--model-out", help="write the trained model (JSON)")
 
 
@@ -125,6 +141,7 @@ def cmd_train(args) -> int:
         nprocs=args.nprocs,
         heuristic=args.heuristic,
         engine=args.engine,
+        comm=args.comm,
         machine=_machine(args.machine),
         faults=args.faults,
     )

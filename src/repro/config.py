@@ -44,6 +44,10 @@ class RunConfig:
     engine:
         Iteration engine (``"packed"`` / ``"legacy"``); ``None`` defers to
         the ``REPRO_SVM_ENGINE`` environment variable.
+    comm:
+        Collective suite (``"flat"`` / ``"hierarchical"``); ``None``
+        defers to the ``REPRO_SVM_COMM`` environment variable and then
+        the flat default.
     machine:
         :class:`~repro.perfmodel.machine.MachineSpec` for virtual-time
         accounting (``None`` = the paper's Cascade testbed).
@@ -60,6 +64,7 @@ class RunConfig:
     nprocs: int = 1
     heuristic: Any = "multi5pc"
     engine: Optional[str] = None
+    comm: Optional[str] = None
     machine: Optional[MachineSpec] = None
     faults: Any = None
     deadlock_timeout: float = 120.0
@@ -108,6 +113,7 @@ class RunConfig:
                 else getattr(self.heuristic, "name", str(self.heuristic))
             ),
             "engine": self.engine,
+            "comm": self.comm,
             "machine": self.machine.name if self.machine is not None else None,
             "faults": str(self.faults) if self.faults is not None else None,
             "deadlock_timeout": self.deadlock_timeout,

@@ -80,6 +80,7 @@ def decision_function_parallel(
     spmd = run_spmd(
         entry, nprocs, machine=machine, trace=cfg.trace,
         deadlock_timeout=cfg.deadlock_timeout, faults=cfg.faults,
+        comm=cfg.comm,
     )
     return ParallelPrediction(decision_values=spmd.results[0], spmd=spmd)
 

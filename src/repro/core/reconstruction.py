@@ -59,6 +59,14 @@ FOLD_TILE_ROWS = 512
 #: equivalent (see ``_fold_blocked``); tests flip this to prove it.
 DEFAULT_FOLD = "blocked"
 
+#: module default for the ring wire protocol.  ``"frames"`` moves each
+#: chunk as a typed frame (header + indptr + indices + data sections;
+#: the frame's CRC32 replaces the chunk-level checksum), ``"pickle"`` is
+#: the legacy pickled 4-tuple carrying its own CRC.  Both feed the same
+#: corrupt-chunk re-request protocol; tests and benchmarks flip this to
+#: compare exact wire bytes.
+DEFAULT_WIRE = "frames"
+
 
 def _chunk_crc(blob: bytes, coefs: np.ndarray, norms: np.ndarray) -> int:
     """CRC32 over the chunk's three payload fields."""
@@ -68,18 +76,41 @@ def _chunk_crc(blob: bytes, coefs: np.ndarray, norms: np.ndarray) -> int:
     return crc & 0xFFFFFFFF
 
 
-def _pack_contrib(blk: LocalBlock) -> Tuple[bytes, np.ndarray, np.ndarray, int]:
-    """This rank's ring payload: (CSR bytes, coefs α·y, row norms, crc)."""
+def _pack_contrib(blk: LocalBlock, wire: Optional[str] = None) -> Tuple:
+    """This rank's ring payload: CSR bytes, coefs α·y, row norms.
+
+    The CSR blob and the norm vector depend only on the support set
+    {α > 0}, so they are cached on the block and reused while the set
+    is unchanged; the coefficients are recomputed every time (α values
+    move between reconstructions even when the set does not).
+
+    On the ``"frames"`` wire the chunk is the bare 3-tuple — the typed
+    frame's own CRC32 protects it in transit.  On the ``"pickle"`` wire
+    a chunk-level CRC travels as a fourth field (the historical format).
+    """
     contrib = np.flatnonzero(blk.alpha > 0)
-    Xc = blk.X.take_rows(contrib)
+    cached = blk._descriptor_cache
+    if cached is not None and np.array_equal(cached[0], contrib):
+        blob, norms = cached[1], cached[2]
+    else:
+        blob = blk.X.take_rows(contrib).to_bytes()
+        norms = blk.norms[contrib]
+        blk._descriptor_cache = (contrib.copy(), blob, norms)
     coefs = blk.alpha[contrib] * blk.y[contrib]
-    norms = blk.norms[contrib]
-    blob = Xc.to_bytes()
+    if (wire or DEFAULT_WIRE) == "frames":
+        return blob, coefs, norms
     return blob, coefs, norms, _chunk_crc(blob, coefs, norms)
 
 
 def _verify_chunk(chunk, source: int) -> None:
-    """Integrity-check one visiting chunk against its carried CRC."""
+    """Integrity-check one visiting chunk.
+
+    A framed chunk (3-tuple) was already CRC-verified by the frame
+    decoder; a pickled chunk (4-tuple) is checked against its carried
+    chunk-level CRC.  Anything else is malformed.
+    """
+    if isinstance(chunk, tuple) and len(chunk) == 3:
+        return
     if not (isinstance(chunk, tuple) and len(chunk) == 4):
         raise CorruptMessageError(
             f"ring chunk from rank {source} has malformed structure "
@@ -183,7 +214,7 @@ def _apply_chunk(
     X_shrunk: CSRMatrix,
     norms_shrunk: np.ndarray,
     accum: np.ndarray,
-    chunk: Tuple[bytes, np.ndarray, np.ndarray, int],
+    chunk: Tuple,
     fold: Optional[str] = None,
 ) -> int:
     """Fold one visiting block into the partial gradients; returns #evals."""
@@ -212,6 +243,7 @@ def gradient_reconstruction(
     *,
     deterministic: bool = True,
     fold: Optional[str] = None,
+    wire: Optional[str] = None,
 ) -> None:
     """Run Algorithm 3 on this rank; on return every sample is active
     and every gradient is exact.
@@ -229,16 +261,25 @@ def gradient_reconstruction(
     SpGEMM engine, or ``"rowwise"``, the per-sample loop); ``None``
     follows :data:`DEFAULT_FOLD`.  Both folds produce bitwise-identical
     gradients and identical kernel-evaluation counts.
+
+    ``wire`` selects the ring payload protocol (``"frames"`` or
+    ``"pickle"``; ``None`` follows :data:`DEFAULT_WIRE`).  The decoded
+    chunks are identical byte-for-byte on either wire, so γ is bitwise
+    independent of the choice; only the wire size (the reported
+    ``bytes_sent``) differs.
     """
     p = comm.size
+    wire = DEFAULT_WIRE if wire is None else wire
+    if wire not in ("frames", "pickle"):
+        raise ValueError(f"unknown wire mode {wire!r}")
     shrunk_idx = np.flatnonzero(~blk.active)
     X_shr = blk.X.take_rows(shrunk_idx)
     norms_shr = blk.norms[shrunk_idx]
     accum = np.zeros(shrunk_idx.size)
 
-    chunk = _pack_contrib(blk)
+    chunk = _pack_contrib(blk, wire)
     n_contrib_local = int(chunk[1].size)
-    bytes_sent = 0
+    b0 = comm.clock.stats.bytes_sent
     evals = 0
 
     right = (comm.rank + 1) % p
@@ -252,10 +293,12 @@ def gradient_reconstruction(
         if step < p - 1:
             tag = TAG_RING + step
             recv_req = comm.irecv(source=left, tag=tag)
-            send_req = comm.isend(chunk, right, tag=tag)
-            bytes_sent += len(chunk[0]) + chunk[1].nbytes + chunk[2].nbytes
+            send_req = comm.isend(chunk, right, tag=tag, wire=wire)
             chunk = _ring_recv(comm, recv_req, left, tag, step)
             send_req.wait()
+    # exact wire bytes this rank pushed into the ring (clock delta: the
+    # ring is the only sender between the two snapshots)
+    bytes_sent = comm.clock.stats.bytes_sent - b0
     if deterministic:
         for src in range(p):
             evals += _apply_chunk(

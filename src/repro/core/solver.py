@@ -78,6 +78,7 @@ def fit_parallel(
     warm_start_alpha: Optional[np.ndarray] = None,
     faults=None,
     engine: Optional[str] = None,
+    comm: Optional[str] = None,
 ) -> FitResult:
     """Train with the distributed solver on ``nprocs`` simulated ranks.
 
@@ -112,6 +113,13 @@ def fit_parallel(
     simulated communication cost differ.  ``None`` reads the
     ``REPRO_SVM_ENGINE`` environment variable, falling back to
     ``"packed"``.
+
+    ``comm`` selects the collective suite: ``"flat"`` (the single-level
+    textbook algorithms) or ``"hierarchical"`` (topology-aware two-level
+    variants; see :mod:`repro.mpi.topology`).  Both produce bitwise
+    identical models and iteration sequences; only the simulated
+    communication cost differs.  ``None`` reads the ``REPRO_SVM_COMM``
+    environment variable, falling back to ``"flat"``.
     """
     cfg = resolve_config(
         config,
@@ -121,6 +129,7 @@ def fit_parallel(
         deadlock_timeout=deadlock_timeout,
         faults=faults,
         engine=engine,
+        comm=comm,
     )
     heuristic, nprocs = cfg.heuristic, cfg.nprocs
     machine, faults = cfg.machine, cfg.faults
@@ -173,6 +182,7 @@ def fit_parallel(
     spmd = run_spmd(
         entry, nprocs, machine=machine, trace=cfg.trace,
         deadlock_timeout=cfg.deadlock_timeout, faults=faults,
+        comm=cfg.comm,
     )
     wall = time.perf_counter() - t0
     results: List[RankResult] = spmd.results

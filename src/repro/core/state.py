@@ -50,6 +50,12 @@ class LocalBlock:
         self.gamma = gamma0.copy()
         self.active = np.ones(n, dtype=bool)
         self._active_cache: Optional[Tuple[np.ndarray, CSRMatrix, np.ndarray]] = None
+        #: immutable ring-block descriptor keyed by the support set:
+        #: (contrib indices, CSR wire blob, contrib norms).  The blob and
+        #: norms depend only on *which* samples have α > 0, so repeated
+        #: reconstructions with an unchanged support set skip the CSR
+        #: re-serialization (see repro.core.reconstruction._pack_contrib).
+        self._descriptor_cache: Optional[Tuple[np.ndarray, bytes, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     def invalidate_active(self) -> None:

@@ -70,6 +70,11 @@ class SVC:
         ``"legacy"``; ``None`` defers to the ``REPRO_SVM_ENGINE``
         environment variable (default ``"packed"``).  Both engines
         produce bitwise-identical models.
+    comm:
+        Collective suite: ``"flat"`` or ``"hierarchical"`` (topology-
+        aware two-level collectives); ``None`` defers to the
+        ``REPRO_SVM_COMM`` environment variable (default ``"flat"``).
+        Both suites produce bitwise-identical models.
     config:
         A :class:`~repro.config.RunConfig` bundling the run-time knobs
         (``nprocs``, ``heuristic``, ``engine``, ``machine``, ``faults``,
@@ -93,6 +98,7 @@ class SVC:
         class_weight: Optional[Union[dict, str]] = None,
         faults=None,
         engine: Optional[str] = None,
+        comm: Optional[str] = None,
         config: Optional[RunConfig] = None,
     ) -> None:
         if gamma is not None and sigma_sq is not None:
@@ -104,6 +110,7 @@ class SVC:
             machine=machine,
             faults=faults,
             engine=engine,
+            comm=comm,
         )
         self.C = C
         self.kernel = kernel
@@ -118,6 +125,7 @@ class SVC:
         self.class_weight = class_weight
         self.faults = cfg.faults
         self.engine = cfg.engine
+        self.comm = cfg.comm
         self.config = cfg
 
         self.model_ = None
@@ -184,6 +192,7 @@ class SVC:
             machine=self.machine,
             faults=self.faults,
             engine=self.engine,
+            comm=self.comm,
         )
 
     # ------------------------------------------------------------------
@@ -275,6 +284,7 @@ class SVC:
             "class_weight": self.class_weight,
             "faults": self.faults,
             "engine": self.engine,
+            "comm": self.comm,
         }
 
     def set_params(self, **kwargs) -> "SVC":

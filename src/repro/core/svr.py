@@ -71,6 +71,7 @@ def fit_svr_parallel(
     heuristic: Union[str, Heuristic] = "multi5pc",
     nprocs: int = 1,
     machine: Optional[MachineSpec] = None,
+    comm: Optional[str] = None,
 ) -> SVRFitResult:
     """Train ε-SVR with the distributed shrinking solver.
 
@@ -107,7 +108,7 @@ def fit_svr_parallel(
     def entry(comm):
         return solve_rank(comm, blocks[comm.rank], part, params, heur)
 
-    spmd = run_spmd(entry, nprocs, machine=machine)
+    spmd = run_spmd(entry, nprocs, machine=machine, comm=comm)
     results = spmd.results
 
     alpha_ext = np.concatenate([r.alpha for r in results])

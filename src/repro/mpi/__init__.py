@@ -54,6 +54,14 @@ from .reduceops import (
 from .request import Request
 from .runtime import RankStats, SpmdResult, SpmdRuntime, run_spmd
 from .status import Status
+from .topology import (
+    COMM_ENV,
+    COMMUNICATORS,
+    FlatCollectives,
+    HierarchicalCollectives,
+    create_communicator,
+    resolve_comm,
+)
 from .tracing import TraceEvent, Tracer
 
 __all__ = [
@@ -61,6 +69,8 @@ __all__ = [
     "ANY_TAG",
     "BAND",
     "BOR",
+    "COMM_ENV",
+    "COMMUNICATORS",
     "ClockStats",
     "Comm",
     "CommError",
@@ -70,6 +80,8 @@ __all__ = [
     "FaultEngine",
     "FaultInjectionError",
     "FaultPlan",
+    "FlatCollectives",
+    "HierarchicalCollectives",
     "IN_PLACE",
     "InjectedFault",
     "LAND",
@@ -98,5 +110,7 @@ __all__ = [
     "Tracer",
     "TruncationError",
     "VirtualClock",
+    "create_communicator",
+    "resolve_comm",
     "run_spmd",
 ]

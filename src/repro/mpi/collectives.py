@@ -54,7 +54,7 @@ def barrier_dissemination(comm) -> None:
         dist <<= 1
 
 
-def bcast_binomial(comm, obj: Any, root: int) -> Any:
+def bcast_binomial(comm, obj: Any, root: int, typed: bool = False) -> Any:
     """Binomial-tree broadcast; returns the object on every rank."""
     p = comm.size
     tag = comm._next_coll_tag()
@@ -76,13 +76,18 @@ def bcast_binomial(comm, obj: Any, root: int) -> Any:
     while mask > 0:
         child = vrank | mask
         if child != vrank and child < p:
-            comm._coll_send(obj, (child + root) % p, tag)
+            comm._coll_send(obj, (child + root) % p, tag, typed=typed)
         mask >>= 1
     return obj
 
 
 def reduce_binomial(
-    comm, obj: Any, op: ReduceOp, root: int, arrays: bool = False
+    comm,
+    obj: Any,
+    op: ReduceOp,
+    root: int,
+    arrays: bool = False,
+    typed: bool = False,
 ) -> Optional[Any]:
     """Binomial-tree reduce; only ``root`` gets the result (others: None)."""
     p = comm.size
@@ -96,7 +101,7 @@ def reduce_binomial(
     while mask < p:
         if vrank & mask:
             dest = ((vrank ^ mask) + root) % p
-            comm._coll_send(val, dest, tag)
+            comm._coll_send(val, dest, tag, typed=typed)
             break
         partner = vrank | mask
         if partner < p:

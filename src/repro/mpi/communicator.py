@@ -12,10 +12,10 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from . import collectives as _coll
+from . import frames
 from .clock import VirtualClock
 from .datatypes import ANY_SOURCE, ANY_TAG, TAG_UB, as_array, check_tag
-from .errors import CommError, RankError, TruncationError
+from .errors import CommError, CorruptMessageError, RankError, TruncationError
 from .message import Envelope
 from .reduceops import SUM, ReduceOp
 from .request import RecvRequest, Request, SendRequest
@@ -24,6 +24,9 @@ from .status import Status
 #: first tag reserved for internal collective traffic
 _COLL_TAG_BASE = TAG_UB + 1
 _COLL_TAG_SPAN = 2**20
+
+#: bounded retransmission attempts when a received frame fails its CRC
+_RECV_MAX_RETRIES = 3
 
 
 class Comm:
@@ -46,6 +49,7 @@ class Comm:
         self._mailbox = runtime.mailboxes[group[rank]]
         self._machine = runtime.machine
         self._tracer = runtime.tracer
+        self._suite = runtime.collectives
 
     # ------------------------------------------------------------------
     # identity
@@ -128,13 +132,36 @@ class Comm:
             self._rank, "send", "Send", dest, env.nbytes, t0, self._clock.now
         )
 
-    def _post_send_object(self, obj: Any, dest: int, tag: int) -> None:
+    def _post_send_object(
+        self, obj: Any, dest: int, tag: int, wire: Optional[str] = None
+    ) -> None:
+        """Send a Python object, framing it when the typed-frame protocol
+        covers it.
+
+        ``wire`` selects the payload protocol: ``None`` (default) frames
+        when possible and falls back to pickle; ``"frames"`` requires a
+        frameable object (raises :class:`CommError` otherwise);
+        ``"pickle"`` forces the legacy pickled path.
+        """
         self._before_send()
         t0 = self._clock.now
         self._clock.advance(self._machine.send_overhead, kind="comm")
-        env = Envelope.from_object(
-            self._rank, self._global(dest), tag, self._context, obj, self._clock.now
-        )
+        blob = None if wire == "pickle" else frames.encode(obj)
+        if blob is not None:
+            env = Envelope.from_frame(
+                self._rank, self._global(dest), tag, self._context,
+                blob, self._clock.now,
+            )
+        elif wire == "frames":
+            raise CommError(
+                f"wire='frames' requires a frameable payload; "
+                f"{type(obj).__name__} is outside the frame vocabulary"
+            )
+        else:
+            env = Envelope.from_object(
+                self._rank, self._global(dest), tag, self._context,
+                obj, self._clock.now,
+            )
         self._clock.record_send(env.nbytes)
         self._deliver(env)
         self._tracer.record(
@@ -144,12 +171,34 @@ class Comm:
     def _complete_recv(self, env: Envelope) -> None:
         """Clock/statistics bookkeeping once an envelope is matched."""
         t0 = self._clock.now
-        arrival = env.depart_time + self._machine.p2p_time(env.nbytes)
+        intra = self._machine.same_node(
+            self._group[env.src], self._group[self._rank]
+        )
+        arrival = env.depart_time + self._machine.p2p_time(env.nbytes, intra=intra)
         self._clock.sync_to(arrival, kind="comm")
         self._clock.record_recv(env.nbytes)
         self._tracer.record(
             self._rank, "recv", "recv", env.src, env.nbytes, t0, self._clock.now
         )
+
+    def _decode_with_recovery(self, env: Envelope) -> Tuple[Envelope, Any]:
+        """Decode a matched envelope's payload, re-requesting pristine
+        retransmissions of corrupt frames from the fault ledger (bounded
+        attempts) before surfacing :class:`CorruptMessageError`."""
+        attempts = 0
+        while True:
+            try:
+                return env, env.decode()
+            except CorruptMessageError:
+                attempts += 1
+                if attempts > _RECV_MAX_RETRIES or not self.rerequest(
+                    env.src, env.tag
+                ):
+                    raise
+                env = self._mailbox.take(
+                    env.src, env.tag, self._context, block=True
+                )
+                self._complete_recv(env)
 
     # ------------------------------------------------------------------
     # point-to-point: typed (numpy buffers)
@@ -209,10 +258,12 @@ class Comm:
     # ------------------------------------------------------------------
     # point-to-point: pickled objects
     # ------------------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+    def send(
+        self, obj: Any, dest: int, tag: int = 0, wire: Optional[str] = None
+    ) -> None:
         self._check_peer(dest)
         check_tag(tag)
-        self._post_send_object(obj, dest, tag)
+        self._post_send_object(obj, dest, tag, wire=wire)
 
     def recv(
         self,
@@ -224,13 +275,16 @@ class Comm:
         check_tag(tag, allow_any=True)
         env = self._mailbox.take(source, tag, self._context, block=True)
         self._complete_recv(env)
+        env, obj = self._decode_with_recovery(env)
         if status is not None:
             status.source, status.tag = env.src, env.tag
             status.count = status.nbytes = env.nbytes
-        return env.payload if env.typed else env.unpickle()
+        return obj
 
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        self.send(obj, dest, tag)
+    def isend(
+        self, obj: Any, dest: int, tag: int = 0, wire: Optional[str] = None
+    ) -> Request:
+        self.send(obj, dest, tag, wire=wire)
         return SendRequest()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
@@ -291,41 +345,53 @@ class Comm:
     def _coll_recv(self, source: int, tag: int) -> Any:
         env = self._mailbox.take(source, tag, self._context, block=True)
         self._complete_recv(env)
-        return env.payload if env.typed else env.unpickle()
+        return self._decode_with_recovery(env)[1]
 
-    def _trace_collective(self, op: str, nbytes: int, t0: float) -> None:
+    def _trace_collective(self, op: str, t0: float, b0: int) -> None:
+        """Record a finished collective with this rank's *exact* wire
+        contribution: the delta of bytes sent since entry (``b0``)."""
         self._tracer.record(
-            self._rank, "collective", op, -1, nbytes, t0, self._clock.now
+            self._rank,
+            "collective",
+            op,
+            -1,
+            self._clock.stats.bytes_sent - b0,
+            t0,
+            self._clock.now,
         )
+
+    def _coll_entry(self) -> Tuple[float, int]:
+        """Snapshot (vtime, bytes-sent) at collective entry for tracing."""
+        return self._clock.now, self._clock.stats.bytes_sent
 
     # ------------------------------------------------------------------
     # collectives (object path; typed wrappers below)
     # ------------------------------------------------------------------
     def barrier(self) -> None:
-        t0 = self._clock.now
-        _coll.barrier_dissemination(self)
-        self._trace_collective("Barrier", 0, t0)
+        t0, b0 = self._coll_entry()
+        self._suite.barrier(self)
+        self._trace_collective("Barrier", t0, b0)
 
     Barrier = barrier
 
     def bcast(self, obj: Any = None, root: int = 0) -> Any:
         self._check_peer(root)
-        t0 = self._clock.now
-        out = _coll.bcast_binomial(self, obj, root)
-        self._trace_collective("Bcast", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.bcast(self, obj, root)
+        self._trace_collective("Bcast", t0, b0)
         return out
 
     def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
         self._check_peer(root)
-        t0 = self._clock.now
-        out = _coll.reduce_binomial(self, obj, op, root)
-        self._trace_collective("Reduce", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.reduce(self, obj, op, root)
+        self._trace_collective("Reduce", t0, b0)
         return out
 
     def allreduce(self, obj: Any, op: ReduceOp = SUM) -> Any:
-        t0 = self._clock.now
-        out = _coll.allreduce_recursive_doubling(self, obj, op)
-        self._trace_collective("Allreduce", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.allreduce(self, obj, op)
+        self._trace_collective("Allreduce", t0, b0)
         return out
 
     def allreduce_buffer(self, arr: Any, op: ReduceOp = SUM) -> np.ndarray:
@@ -339,59 +405,57 @@ class Comm:
         same winners on either path.
         """
         src = as_array(arr)
-        t0 = self._clock.now
-        out = _coll.allreduce_recursive_doubling(
-            self, src.copy(), op, arrays=True, typed=True
-        )
-        self._trace_collective("Allreduce", int(src.nbytes), t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.allreduce(self, src.copy(), op, arrays=True, typed=True)
+        self._trace_collective("Allreduce", t0, b0)
         return np.asarray(out)
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         self._check_peer(root)
-        t0 = self._clock.now
-        out = _coll.gather_flat(self, obj, root)
-        self._trace_collective("Gather", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.gather(self, obj, root)
+        self._trace_collective("Gather", t0, b0)
         return out
 
     def allgather(self, obj: Any) -> List[Any]:
-        t0 = self._clock.now
-        out = _coll.allgather_ring(self, obj)
-        self._trace_collective("Allgather", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.allgather(self, obj)
+        self._trace_collective("Allgather", t0, b0)
         return out
 
     def scatter(self, objs: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
         self._check_peer(root)
-        t0 = self._clock.now
-        out = _coll.scatter_flat(self, objs, root)
-        self._trace_collective("Scatter", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.scatter(self, objs, root)
+        self._trace_collective("Scatter", t0, b0)
         return out
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
-        t0 = self._clock.now
-        out = _coll.alltoall_pairwise(self, objs)
-        self._trace_collective("Alltoall", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.alltoall(self, objs)
+        self._trace_collective("Alltoall", t0, b0)
         return out
 
     def scan(self, obj: Any, op: ReduceOp = SUM) -> Any:
         """Inclusive prefix reduction (MPI_Scan)."""
-        t0 = self._clock.now
-        out = _coll.scan_linear(self, obj, op)
-        self._trace_collective("Scan", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.scan(self, obj, op)
+        self._trace_collective("Scan", t0, b0)
         return out
 
     def exscan(self, obj: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix reduction (MPI_Exscan; None on rank 0)."""
-        t0 = self._clock.now
-        out = _coll.exscan_linear(self, obj, op)
-        self._trace_collective("Exscan", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.exscan(self, obj, op)
+        self._trace_collective("Exscan", t0, b0)
         return out
 
     def reduce_scatter(self, objs: Sequence[Any], op: ReduceOp = SUM) -> Any:
         """Reduce slot i across ranks; rank i receives result i
         (MPI_Reduce_scatter_block with one item per rank)."""
-        t0 = self._clock.now
-        out = _coll.reduce_scatter_block(self, objs, op)
-        self._trace_collective("Reduce_scatter", 0, t0)
+        t0, b0 = self._coll_entry()
+        out = self._suite.reduce_scatter(self, objs, op)
+        self._trace_collective("Reduce_scatter", t0, b0)
         return out
 
     # ------------------------------------------------------------------
@@ -412,31 +476,27 @@ class Comm:
     def Allreduce(self, sendbuf: Any, recvbuf: Any, op: ReduceOp = SUM) -> None:
         if sendbuf is IN_PLACE:
             out = as_array(recvbuf)
-            result = _coll.allreduce_recursive_doubling(
-                self, out.copy(), op, arrays=True
-            )
+            result = self._suite.allreduce(self, out.copy(), op, arrays=True)
         else:
             src = as_array(sendbuf)
             out = as_array(recvbuf)
             if src.size != out.size:
                 raise CommError("Allreduce send/recv buffer size mismatch")
-            result = _coll.allreduce_recursive_doubling(
-                self, src.copy(), op, arrays=True
-            )
+            result = self._suite.allreduce(self, src.copy(), op, arrays=True)
         out[:] = result.astype(out.dtype, copy=False)
 
     def Reduce(
         self, sendbuf: Any, recvbuf: Any, op: ReduceOp = SUM, root: int = 0
     ) -> None:
         src = as_array(sendbuf).copy()
-        result = _coll.reduce_binomial(self, src, op, root, arrays=True)
+        result = self._suite.reduce(self, src, op, root, arrays=True)
         if self._rank == root:
             out = as_array(recvbuf)
             out[:] = result.astype(out.dtype, copy=False)
 
     def Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
         src = as_array(sendbuf).copy()
-        parts = _coll.gather_flat(self, src, root)
+        parts = self._suite.gather(self, src, root)
         if self._rank == root:
             out = as_array(recvbuf)
             flat = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
@@ -446,7 +506,7 @@ class Comm:
 
     def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
         src = as_array(sendbuf).copy()
-        parts = _coll.allgather_ring(self, src)
+        parts = self._suite.allgather(self, src)
         out = as_array(recvbuf)
         flat = np.concatenate([np.asarray(p).reshape(-1) for p in parts])
         if flat.size != out.size:
@@ -469,7 +529,7 @@ class Comm:
             ]
         else:
             chunks = None
-        part = _coll.scatter_flat(self, chunks, root)
+        part = self._suite.scatter(self, chunks, root)
         out[:] = np.asarray(part).reshape(-1).astype(out.dtype, copy=False)
 
     # ------------------------------------------------------------------

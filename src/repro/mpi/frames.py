@@ -1,0 +1,216 @@
+"""Typed-buffer wire frames: the pickle-free payload protocol.
+
+A *frame* is a self-describing byte string carrying numpy arrays, raw
+byte blocks (CSR blobs travel as their ``header+indptr+indices+data``
+serialization) and the handful of scalar types the solver's hot-path
+payloads are built from.  Framing replaces pickling on every path that
+moves numerical data — collectives, the owner-rooted sample broadcast,
+the reconstruction ring — so that
+
+- traced byte counts are honest: ``Envelope.nbytes`` is exactly the
+  number of payload bytes a real MPI implementation would move for the
+  same typed buffers, with a fixed, inspectable per-section overhead
+  instead of pickle's opaque framing;
+- corruption is detectable: every frame embeds a CRC32 over its body,
+  so a tampered byte surfaces as a structured
+  :class:`~repro.mpi.errors.CorruptMessageError` at decode time and
+  feeds the receiver-driven retransmission protocol (exactly like the
+  reconstruction ring's chunk checksums);
+- round-trips are exact: arrays come back with the same dtype, shape
+  and bits; Python floats are carried as their IEEE-754 image.
+
+Wire format (all integers little-endian)::
+
+    frame   := magic(4) crc32(u4) body
+    body    := node
+    node    := 'A' u1:len(dtype.str) dtype.str u1:ndim i8*ndim raw
+             | 'S' u1:len(dtype.str) dtype.str raw          (numpy scalar)
+             | 'B' i8:len raw                               (bytes)
+             | 'F' f8                                       (python float)
+             | 'I' i8                                       (python int)
+             | 'b' u1                                       (python bool)
+             | 'N'                                          (None)
+             | 'T' i8:count node*                           (tuple)
+             | 'L' i8:count node*                           (list)
+
+:func:`encode` returns ``None`` for objects outside this vocabulary
+(or containing no array/bytes section at all — tiny all-scalar
+payloads such as the legacy engine's ``(value, index)`` election pairs
+stay on the pickle path, whose modeled size
+:data:`repro.perfmodel.costs.PICKLED_PAIR_BYTES` prices).  The sender
+falls back to pickle transparently; the envelope records which
+protocol a message used.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, List, Optional
+
+import numpy as np
+
+#: frame magic: "repro frame, revision 1"
+MAGIC = b"RFR1"
+
+#: bytes of fixed per-frame overhead (magic + CRC32)
+HEADER_BYTES = 8
+
+_HEAD = struct.Struct("<4sI")
+_I8 = struct.Struct("<q")
+_F8 = struct.Struct("<d")
+
+#: numpy dtype kinds a frame may carry (no object/str/void payloads)
+_ARRAY_KINDS = frozenset("biufc")
+
+
+class _Unframeable(Exception):
+    """Internal: the object is outside the frame vocabulary."""
+
+
+def _encode_node(obj: Any, out: List[bytes]) -> bool:
+    """Append the wire image of ``obj``; returns True when any section
+    is an array/bytes buffer (the "worth framing" criterion)."""
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.kind not in _ARRAY_KINDS:
+            raise _Unframeable(f"array dtype {obj.dtype} not frameable")
+        ds = obj.dtype.str.encode("ascii")
+        out.append(b"A")
+        out.append(struct.pack("<B", len(ds)))
+        out.append(ds)
+        # record obj's own geometry: ascontiguousarray promotes 0-d to 1-d
+        out.append(struct.pack("<B", obj.ndim))
+        for dim in obj.shape:
+            out.append(_I8.pack(dim))
+        out.append(np.ascontiguousarray(obj).tobytes())
+        return True
+    if isinstance(obj, np.generic):
+        # before float/int: np.float64 subclasses float, and the 'S'
+        # image is what keeps its dtype identity across the wire
+        dt = obj.dtype
+        if dt.kind not in _ARRAY_KINDS:
+            raise _Unframeable(f"scalar dtype {dt} not frameable")
+        ds = dt.str.encode("ascii")
+        out.append(b"S")
+        out.append(struct.pack("<B", len(ds)))
+        out.append(ds)
+        out.append(obj.tobytes())
+        return False
+    if isinstance(obj, bool):  # before int: bool is an int subclass
+        out.append(b"b" + struct.pack("<B", int(obj)))
+        return False
+    if isinstance(obj, bytes):
+        out.append(b"B" + _I8.pack(len(obj)))
+        out.append(obj)
+        return True
+    if isinstance(obj, float):
+        out.append(b"F" + _F8.pack(obj))
+        return False
+    if isinstance(obj, int):
+        if not -(2**63) <= obj < 2**63:
+            raise _Unframeable("int out of i64 range")
+        out.append(b"I" + _I8.pack(obj))
+        return False
+    if obj is None:
+        out.append(b"N")
+        return False
+    if isinstance(obj, (tuple, list)):
+        out.append((b"T" if isinstance(obj, tuple) else b"L") + _I8.pack(len(obj)))
+        buffered = False
+        for item in obj:
+            buffered |= _encode_node(item, out)
+        return buffered
+    raise _Unframeable(f"type {type(obj).__name__} not frameable")
+
+
+def encode(obj: Any) -> Optional[bytes]:
+    """The wire frame for ``obj``, or ``None`` when it cannot (or is
+    not worth) framing — the caller falls back to pickle."""
+    out: List[bytes] = []
+    try:
+        has_buffer = _encode_node(obj, out)
+    except _Unframeable:
+        return None
+    if not has_buffer:
+        return None
+    body = b"".join(out)
+    return _HEAD.pack(MAGIC, zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def frame_nbytes(obj: Any) -> Optional[int]:
+    """Exact wire size of ``obj``'s frame (``None`` if unframeable)."""
+    blob = encode(obj)
+    return None if blob is None else len(blob)
+
+
+class _Reader:
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes):
+        self.buf = buf
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise ValueError("frame truncated")
+        chunk = self.buf[self.pos : end]
+        self.pos = end
+        return chunk
+
+
+def _decode_node(r: _Reader) -> Any:
+    tag = r.take(1)
+    if tag == b"A":
+        (dlen,) = struct.unpack("<B", r.take(1))
+        dtype = np.dtype(r.take(dlen).decode("ascii"))
+        (ndim,) = struct.unpack("<B", r.take(1))
+        shape = tuple(_I8.unpack(r.take(8))[0] for _ in range(ndim))
+        count = int(np.prod(shape)) if shape else 1
+        raw = r.take(count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    if tag == b"S":
+        (dlen,) = struct.unpack("<B", r.take(1))
+        dtype = np.dtype(r.take(dlen).decode("ascii"))
+        return np.frombuffer(r.take(dtype.itemsize), dtype=dtype)[0]
+    if tag == b"B":
+        (n,) = _I8.unpack(r.take(8))
+        return r.take(n)
+    if tag == b"F":
+        return _F8.unpack(r.take(8))[0]
+    if tag == b"I":
+        return _I8.unpack(r.take(8))[0]
+    if tag == b"b":
+        return bool(struct.unpack("<B", r.take(1))[0])
+    if tag == b"N":
+        return None
+    if tag in (b"T", b"L"):
+        (n,) = _I8.unpack(r.take(8))
+        items = [_decode_node(r) for _ in range(n)]
+        return tuple(items) if tag == b"T" else items
+    raise ValueError(f"unknown frame tag {tag!r}")
+
+
+def decode(blob: Any) -> Any:
+    """Decode one frame; raises
+    :class:`~repro.mpi.errors.CorruptMessageError` on any integrity or
+    structure failure (CRC mismatch, truncation, unknown tag)."""
+    from .errors import CorruptMessageError
+
+    data = bytes(blob)
+    try:
+        if len(data) < HEADER_BYTES:
+            raise ValueError("frame shorter than header")
+        magic, crc = _HEAD.unpack_from(data, 0)
+        if magic != MAGIC:
+            raise ValueError(f"bad frame magic {magic!r}")
+        body = data[HEADER_BYTES:]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise ValueError("frame CRC32 mismatch")
+        r = _Reader(body)
+        obj = _decode_node(r)
+        if r.pos != len(body):
+            raise ValueError("trailing bytes after frame body")
+        return obj
+    except ValueError as exc:
+        raise CorruptMessageError(f"typed frame failed to decode: {exc}") from exc

@@ -38,11 +38,15 @@ class Envelope:
     dest: int
     tag: int
     context: int  # communicator context id: isolates comms from each other
-    payload: Any  # np.ndarray copy (typed) or bytes (pickled object)
+    payload: Any  # np.ndarray copy (typed) or bytes (frame / pickled object)
     typed: bool
     nbytes: int
     depart_time: float
     seq: int = field(default_factory=lambda: next(_seq))
+    #: payload is a typed wire frame (see :mod:`repro.mpi.frames`) —
+    #: bytes on the wire like a pickled object, but self-describing,
+    #: CRC-protected and pickle-free
+    frame: bool = False
 
     @classmethod
     def from_array(
@@ -88,6 +92,28 @@ class Envelope:
             depart_time=depart_time,
         )
 
+    @classmethod
+    def from_frame(
+        cls,
+        src: int,
+        dest: int,
+        tag: int,
+        context: int,
+        blob: bytes,
+        depart_time: float,
+    ) -> "Envelope":
+        return cls(
+            src=src,
+            dest=dest,
+            tag=tag,
+            context=context,
+            payload=blob,
+            typed=False,
+            nbytes=len(blob),
+            depart_time=depart_time,
+            frame=True,
+        )
+
     def unpickle(self) -> Any:
         assert not self.typed
         try:
@@ -99,6 +125,19 @@ class Envelope:
                 f"payload from rank {self.src} (tag {self.tag}, "
                 f"{self.nbytes} bytes) failed to deserialize: {exc}"
             ) from exc
+
+    def decode(self) -> Any:
+        """The carried object: typed payloads come back as the array,
+        frames are decoded (CRC-checked — raises
+        :class:`~repro.mpi.errors.CorruptMessageError` on a tampered
+        frame), pickled payloads are unpickled."""
+        if self.typed:
+            return self.payload
+        if self.frame:
+            from . import frames
+
+            return frames.decode(self.payload)
+        return self.unpickle()
 
     def matches(self, src: Optional[int], tag: Optional[int], context: int) -> bool:
         """MPI matching rule with wildcard support (-1 = any)."""

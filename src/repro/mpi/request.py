@@ -112,11 +112,10 @@ class RecvRequest(Request):
             st.count = int(data.size)
             self._result = None
         else:
-            if env.typed:
-                # allow typed sends to be received as objects (array value)
-                self._result = env.payload
-            else:
-                self._result = env.unpickle()
+            # typed sends decode to the array value; frames are
+            # CRC-checked with bounded retransmission recovery
+            env, self._result = self._comm._decode_with_recovery(env)
+            st = Status(source=env.src, tag=env.tag, nbytes=env.nbytes)
             st.count = env.nbytes
         self._result_status = st
         if status is not None:

@@ -33,6 +33,7 @@ from .errors import DeadlockError, SpmdAborted, SpmdJobError
 from .faults import FaultEngine, RetryPolicy, as_plan
 from .mailbox import Mailbox
 from .message import Envelope
+from .topology import create_communicator
 from .tracing import Tracer
 
 _WATCHDOG_POLL = 0.25
@@ -97,11 +98,15 @@ class SpmdRuntime:
         trace: bool = False,
         faults=None,
         retry: Optional[RetryPolicy] = None,
+        comm: Optional[str] = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.machine = machine or MachineSpec.cascade()
+        #: the job's collective suite (flat / hierarchical); shared by
+        #: every communicator the job creates
+        self.collectives = create_communicator(comm)
         self.abort_event = threading.Event()
         self.tracer = Tracer(enabled=trace)
         plan = as_plan(faults)
@@ -174,6 +179,7 @@ def run_spmd(
     deadlock_timeout: float = 60.0,
     faults=None,
     retry: Optional[RetryPolicy] = None,
+    comm: Optional[str] = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
@@ -193,7 +199,8 @@ def run_spmd(
     """
     kwargs = kwargs or {}
     runtime = SpmdRuntime(
-        nprocs, machine=machine, trace=trace, faults=faults, retry=retry
+        nprocs, machine=machine, trace=trace, faults=faults, retry=retry,
+        comm=comm,
     )
     results: List[Any] = [None] * nprocs
     failures: Dict[int, BaseException] = {}

@@ -70,6 +70,21 @@ class Tracer:
     def total_bytes(self, kind: str = "send") -> int:
         return sum(e.nbytes for e in self.events if e.kind == kind)
 
+    def collective_bytes(self) -> "dict[str, int]":
+        """Exact wire bytes per collective operation, summed over ranks.
+
+        Each collective event carries the *delta* of the rank's
+        bytes-sent counter across the call, so these totals are the
+        honest per-algorithm wire volume (framed/typed payload sizes,
+        not pickled-object estimates) with no double counting against
+        the underlying send events.
+        """
+        out: dict = {}
+        for e in self.events:
+            if e.kind == "collective":
+                out[e.op] = out.get(e.op, 0) + e.nbytes
+        return out
+
     def summary(self) -> str:
         """Per-operation aggregate table: count, bytes, virtual seconds."""
         agg: dict = {}

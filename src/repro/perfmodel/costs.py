@@ -53,6 +53,82 @@ def allgather_ring_time(m: MachineSpec, chunk_bytes: float, p: int) -> float:
     return ring_exchange_time(m, chunk_bytes, p)
 
 
+def node_geometry(m: MachineSpec, p: int) -> "tuple[int, int]":
+    """``(k, nn)``: ranks per node and node count for ``p`` block-placed
+    ranks on ``m`` (the last node may be partially filled)."""
+    k = min(p, m.node_size)
+    nn = math.ceil(p / k)
+    return k, nn
+
+
+def intra_p2p_time(m: MachineSpec, nbytes: float) -> float:
+    """One intra-node message (falls back to inter prices when the
+    machine describes no separate intra-node fabric)."""
+    return m.p2p_time(int(nbytes), intra=True)
+
+
+def hier_bcast_time(m: MachineSpec, nbytes: float, p: int) -> float:
+    """Two-level broadcast: worst-case intra hop to the root's node
+    leader, binomial over the ``nn`` leaders, binomial inside each node.
+
+    Mirrors :class:`repro.mpi.topology.HierarchicalCollectives.bcast`,
+    including its delegation to the flat tree when only one node (or one
+    rank per node) is involved.
+    """
+    k, nn = node_geometry(m, p)
+    if nn <= 1 or k <= 1:
+        return bcast_time(m, nbytes, p)
+    return (
+        intra_p2p_time(m, nbytes)
+        + log2ceil(nn) * p2p_time(m, nbytes)
+        + log2ceil(k) * intra_p2p_time(m, nbytes)
+    )
+
+
+def hier_allreduce_time(m: MachineSpec, nbytes: float, p: int) -> float:
+    """Two-level allreduce: intra-node binomial reduce, recursive
+    doubling over the leaders, intra-node binomial broadcast."""
+    k, nn = node_geometry(m, p)
+    if nn <= 1 or k <= 1:
+        return allreduce_time(m, nbytes, p)
+    return (
+        2 * log2ceil(k) * intra_p2p_time(m, nbytes)
+        + log2ceil(nn) * p2p_time(m, nbytes)
+    )
+
+
+def hier_barrier_time(m: MachineSpec, p: int) -> float:
+    k, nn = node_geometry(m, p)
+    if nn <= 1 or k <= 1:
+        return barrier_time(m, p)
+    lat = m.intra_latency if m.intra_latency is not None else m.latency
+    return 2 * log2ceil(k) * lat + log2ceil(nn) * m.latency
+
+
+def allreduce_messages(p: int) -> int:
+    """Total messages of one recursive-doubling allreduce at ``p``."""
+    pof2 = 1
+    while pof2 * 2 <= p:
+        pof2 *= 2
+    rem = p - pof2
+    return pof2 * log2ceil(pof2) + 2 * rem
+
+
+def bcast_messages(p: int) -> int:
+    """Total messages of one binomial broadcast (any tree shape)."""
+    return max(0, p - 1)
+
+
+def hier_allreduce_messages(m: MachineSpec, p: int) -> int:
+    """Messages of the two-level allreduce: an up tree and a down tree
+    inside every node (``p − nn`` each) plus recursive doubling over
+    the ``nn`` leaders."""
+    k, nn = node_geometry(m, p)
+    if nn <= 1 or k <= 1:
+        return allreduce_messages(p)
+    return 2 * (p - nn) + allreduce_messages(nn)
+
+
 def sample_bytes(avg_nnz: float) -> float:
     """Wire size of one CSR sample row: int64 index + float64 value per
     nonzero, plus norm/label/alpha scalars and framing."""
@@ -75,7 +151,16 @@ ELECTION_SHRINK_BYTES = 5 * 8.0
 PICKLED_PAIR_BYTES = 64.0
 
 
-def election_time(m: MachineSpec, p: int, *, with_shrink: bool = False) -> float:
-    """One fused violator-election Allreduce (packed engine)."""
+def election_time(
+    m: MachineSpec, p: int, *, with_shrink: bool = False, comm: str = "flat"
+) -> float:
+    """One fused violator-election Allreduce (packed engine).
+
+    ``comm`` selects the modeled collective suite: the flat recursive
+    doubling or the topology-aware two-level variant (the fused
+    MINLOC_MAXLOC buffer rides either unchanged).
+    """
     nbytes = ELECTION_SHRINK_BYTES if with_shrink else ELECTION_BYTES
+    if comm == "hierarchical":
+        return hier_allreduce_time(m, nbytes, p)
     return allreduce_time(m, nbytes, p)

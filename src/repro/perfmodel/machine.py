@@ -17,16 +17,27 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """Parameters of the modeled machine."""
+    """Parameters of the modeled machine.
+
+    The base (``latency``, ``byte_time``) pair prices *inter-node*
+    point-to-point messages.  Machines may additionally describe their
+    intra-node fabric (shared memory / on-node interconnect) with an
+    ``(intra_latency, intra_byte_time)`` pair plus the node geometry
+    ``ranks_per_node``; the runtime and the analytic cost model then
+    charge the cheaper pair for messages between ranks placed on the
+    same node.  When the intra parameters are ``None`` (the default,
+    and the historical behaviour) both levels cost the same.
+    """
 
     name: str
-    latency: float  # l: one-way small-message latency (s)
+    latency: float  # l: one-way small-message latency (s), inter-node
     byte_time: float  # G: seconds per byte (1 / effective bandwidth)
     send_overhead: float  # o: CPU time to post a send (s)
     flop_rate: float  # effective double-precision flops/s of one core
@@ -37,6 +48,13 @@ class MachineSpec:
     kernel_eval_overhead_flops: float = 40.0
     #: flops per nonzero touched in one sparse kernel evaluation
     kernel_flops_per_nnz: float = 4.0
+    #: intra-node small-message latency (s); ``None`` = same as inter
+    intra_latency: Optional[float] = None
+    #: intra-node seconds per byte; ``None`` = same as inter
+    intra_byte_time: Optional[float] = None
+    #: MPI ranks placed per node (block placement: rank r lives on node
+    #: ``r // ranks_per_node``); ``None`` = one rank per core
+    ranks_per_node: Optional[int] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -74,11 +92,66 @@ class MachineSpec:
         base = cls.cascade()
         return replace(base, name="python-host", flop_rate=rate)
 
+    @classmethod
+    def multinode(cls, ranks_per_node: int = 16) -> "MachineSpec":
+        """Cascade with its node hierarchy made explicit.
+
+        Inter-node parameters stay the FDR fabric's; intra-node
+        messages go through shared memory — ~0.3 us latency and
+        ~12 GB/s effective per-pair bandwidth, the regime MVAPICH2's
+        KNEM/CMA path delivers on Sandy Bridge.  Block placement puts
+        ``ranks_per_node`` consecutive ranks on each node.
+        """
+        if ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {ranks_per_node}"
+            )
+        base = cls.cascade()
+        return replace(
+            base,
+            name=f"multinode-{ranks_per_node}",
+            intra_latency=0.3e-6,
+            intra_byte_time=1.0 / 12.0e9,
+            ranks_per_node=ranks_per_node,
+        )
+
+    # ------------------------------------------------------------------
+    # node geometry
+    # ------------------------------------------------------------------
+    @property
+    def node_size(self) -> int:
+        """Ranks placed per node (defaults to one per core)."""
+        return self.ranks_per_node or self.cores_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting global ``rank`` (block placement)."""
+        return rank // self.node_size
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    @property
+    def has_hierarchy(self) -> bool:
+        """True when intra-node messages are priced differently."""
+        return self.intra_latency is not None or self.intra_byte_time is not None
+
     # ------------------------------------------------------------------
     # derived costs
     # ------------------------------------------------------------------
-    def p2p_time(self, nbytes: int) -> float:
-        """Modeled time for one point-to-point message of ``nbytes``."""
+    def p2p_time(self, nbytes: int, intra: bool = False) -> float:
+        """Modeled time for one point-to-point message of ``nbytes``.
+
+        ``intra=True`` prices the message on the intra-node fabric
+        (falling back to the inter-node pair when the machine does not
+        describe one)."""
+        if intra:
+            lat = self.intra_latency if self.intra_latency is not None else self.latency
+            bt = (
+                self.intra_byte_time
+                if self.intra_byte_time is not None
+                else self.byte_time
+            )
+            return lat + nbytes * bt
         return self.latency + nbytes * self.byte_time
 
     def time_flops(self, flops: float) -> float:

@@ -90,6 +90,7 @@ def project(
     n_scale: float = 1.0,
     iteration_scale: float = 1.0,
     engine: str = "packed",
+    comm: str = "flat",
 ) -> ProjectedTime:
     """Evaluate the time model at ``p`` processes.
 
@@ -99,6 +100,11 @@ def project(
     resampled, preserving its shape).  ``engine`` selects the modeled
     per-iteration communication shape (``"packed"`` / ``"legacy"`` —
     the iteration sequence, and hence the trace, is identical for both).
+    ``comm`` selects the collective suite (``"flat"`` /
+    ``"hierarchical"``): the hierarchical variant prices broadcasts and
+    allreduces with the machine's two-level (intra/inter) parameters,
+    mirroring :mod:`repro.mpi.topology`.  The reconstruction ring is
+    neighbor point-to-point traffic, identical under either suite.
     """
     if p < 1:
         raise ValueError(f"p must be >= 1, got {p}")
@@ -106,6 +112,8 @@ def project(
         raise ValueError("scales must be positive")
     if engine not in ("packed", "legacy"):
         raise ValueError(f"unknown engine {engine!r} (packed | legacy)")
+    if comm not in ("flat", "hierarchical"):
+        raise ValueError(f"unknown comm {comm!r} (flat | hierarchical)")
 
     active = trace.active_counts.astype(np.float64) * n_scale
     iters = trace.iterations
@@ -127,6 +135,10 @@ def project(
     select = m.time_flops(_SELECT_FLOPS * per_rank_active)
     iter_compute = float(np.sum(gamma_update + select))
 
+    hier = comm == "hierarchical"
+    _bcast = costs.hier_bcast_time if hier else costs.bcast_time
+    _allreduce = costs.hier_allreduce_time if hier else costs.allreduce_time
+
     n_shrink_events = len(trace.shrink_iters)
     if engine == "packed":
         # owner-rooted binomial broadcasts fire only on resident-cache
@@ -140,23 +152,21 @@ def project(
             n_bcast *= iters / float(trace.iterations)
         # one fused typed election Allreduce per iteration; a shrink
         # event widens the following election by the piggybacked δ slot
-        reduces = costs.election_time(m, p)
-        iter_comm = (
-            n_bcast * costs.bcast_time(m, sbytes, p) + iters * reduces
-        )
+        reduces = costs.election_time(m, p, comm=comm)
+        iter_comm = n_bcast * _bcast(m, sbytes, p) + iters * reduces
         iter_comm += n_shrink_events * (
-            costs.election_time(m, p, with_shrink=True)
-            - costs.election_time(m, p)
+            costs.election_time(m, p, with_shrink=True, comm=comm)
+            - costs.election_time(m, p, comm=comm)
         )
     else:
         # owners -> rank 0 routing: with probability 1/p the owner *is*
         # rank 0 and no message is sent (exactly zero at p = 1)
         route = 2.0 * costs.p2p_time(m, sbytes) * (1.0 - 1.0 / p)
-        bcast = costs.bcast_time(m, 2.0 * sbytes, p)
-        reduces = 2.0 * costs.allreduce_time(m, costs.PICKLED_PAIR_BYTES, p)
+        bcast = _bcast(m, 2.0 * sbytes, p)
+        reduces = 2.0 * _allreduce(m, costs.PICKLED_PAIR_BYTES, p)
         iter_comm = iters * (route + bcast + reduces)
         # the δ allreduce at each shrink event
-        iter_comm += n_shrink_events * costs.allreduce_time(
+        iter_comm += n_shrink_events * _allreduce(
             m, costs.PICKLED_PAIR_BYTES, p
         )
 

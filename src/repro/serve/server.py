@@ -206,6 +206,7 @@ def serve_requests(
     spmd = run_spmd(
         entry, cfg.nprocs, machine=machine_eff, trace=cfg.trace,
         deadlock_timeout=cfg.deadlock_timeout, faults=cfg.faults,
+        comm=cfg.comm,
     )
     wall = time.perf_counter() - t0
 

@@ -27,7 +27,7 @@ from repro.core.state import LocalBlock
 from repro.core.trace import RankTrace
 from repro.core.wss import Violators
 from repro.kernels import RBFKernel
-from repro.mpi import run_spmd
+from repro.mpi import frames, run_spmd
 from repro.mpi.errors import (
     CorruptMessageError,
     InjectedFault,
@@ -162,18 +162,29 @@ class TestRingChunkIntegrity:
         return blk
 
     def test_pack_carries_valid_crc(self):
+        # frames wire (default): bare 3-tuple, integrity lives in the
+        # typed frame's CRC; pickle wire: chunk-level CRC as 4th field
         chunk = _pack_contrib(self._block())
-        assert len(chunk) == 4
+        assert len(chunk) == 3
         _verify_chunk(chunk, source=0)  # must not raise
+        legacy = _pack_contrib(self._block(), wire="pickle")
+        assert len(legacy) == 4
+        _verify_chunk(legacy, source=0)
 
     def test_tampered_chunk_detected(self):
-        blob, coefs, norms, crc = _pack_contrib(self._block())
+        blob, coefs, norms, crc = _pack_contrib(self._block(), wire="pickle")
         bad = bytearray(blob)
         bad[len(bad) // 2] ^= 0xFF
         with pytest.raises(CorruptMessageError, match="CRC32"):
             _verify_chunk((bytes(bad), coefs, norms, crc), source=0)
         with pytest.raises(CorruptMessageError, match="malformed"):
-            _verify_chunk((blob, coefs, norms), source=0)
+            _verify_chunk((blob, coefs, norms, crc, None), source=0)
+        # a framed chunk is protected by the frame CRC: a flipped wire
+        # byte fails decode before _verify_chunk ever sees the tuple
+        frame = bytearray(frames.encode((blob, coefs, norms)))
+        frame[len(frame) // 2] ^= 0xFF
+        with pytest.raises(CorruptMessageError):
+            frames.decode(bytes(frame))
 
     @pytest.mark.parametrize("fold", ["blocked", "rowwise"])
     def test_empty_chunk_round_trip(self, fold):
@@ -249,7 +260,8 @@ def _pack_contrib_of(X, y, part, rank, alpha_val):
 
 
 def _chunk_nbytes(chunk):
-    return len(chunk[0]) + chunk[1].nbytes + chunk[2].nbytes
+    # exact wire size of the framed chunk (the default ring wire)
+    return frames.frame_nbytes(chunk)
 
 
 class TestPartitionEdgeCases:
