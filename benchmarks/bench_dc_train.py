@@ -1,0 +1,287 @@
+"""Divide-and-conquer training: cold exact solve vs DC-warm-started.
+
+Two measurements, one report (``BENCH_dc_train.json``), on the two
+largest paper datasets' miniatures (higgs and url — 2.6M and 2.3M
+training rows in the paper, run here at miniature scale):
+
+**Part A — host + modeled, simulated p=4.**  Each miniature is solved
+cold (exact packed-engine solve from α = 0) and through the DC outer
+loop (``--dc clusters=4``: rotated label-balanced kernel-k-means
+partitions, concurrently solved sub-problems, line-searched merges,
+then the same exact solve warm-started from the projected sub-duals).
+Reported per dataset: iterations, host wall time, modeled virtual
+time, and the modeled / host / combined (geometric-mean) speedups.
+Both paths must land on the same optimum — the bench re-checks the
+dual objectives against each other before reporting any speedup.
+
+**Part B — projected scaling, p=16..4096.**  The recorded outer-loop
+rounds and both solve traces are priced at cluster scale by the
+trace-driven projector (16 ranks/node multi-node machine), under the
+flat and hierarchical collective suites.  The recorded iteration
+sequences are process-count independent, so the replay is exact.
+
+The acceptance bar rides on the *biggest* miniature (higgs): the
+combined speedup must be ≥ 1.5× and the DC path must stay ahead of
+cold at every projected scale.  url is reported unconditionally — at
+miniature scale its cold solve is only a few hundred iterations, so
+the DC overhead is not always repaid; the honest number stays in the
+report.
+
+Run either way::
+
+    python benchmarks/bench_dc_train.py [--quick]
+    pytest benchmarks/bench_dc_train.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import SVMParams, fit_parallel
+from repro.data import DATASETS, load_dataset
+from repro.kernels import RBFKernel
+from repro.perfmodel import MachineSpec, project, project_dc_outer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_dc_train.json"
+
+#: the two biggest paper datasets (by training rows: 2.6M and 2.3M)
+DATASET_NAMES = ("higgs", "url")
+#: the bar dataset — the biggest miniature
+BAR_DATASET = "higgs"
+#: required combined (geomean of modeled and host) speedup on the bar
+BAR = 1.5
+
+NPROCS = 4
+DC_SPEC = "clusters=4"
+EPS = 1e-3
+
+#: the scaling sweep: one node, four nodes, then cluster scale
+SWEEP_PS = (16, 64, 256, 1024, 4096)
+QUICK_PS = (16, 64)
+RANKS_PER_NODE = 16
+
+
+def _load(name: str, quick: bool):
+    entry = DATASETS[name]
+    scale = entry.default_scale * (0.5 if quick else 1.0)
+    ds = load_dataset(name, scale=scale)
+    params = SVMParams(
+        C=entry.C,
+        kernel=RBFKernel(1.0 / (2.0 * entry.sigma_sq)),
+        eps=EPS,
+        max_iter=10_000_000,
+    )
+    return ds.X_train, ds.y_train, params
+
+
+def _dual_objective(alpha, X, y, kernel) -> float:
+    n = X.shape[0]
+    norms = X.row_norms_sq()
+    v = alpha * y
+    Kv = np.empty(n)
+    for i in range(n):
+        xi, xv = X.row(i)
+        Kv[i] = kernel.row_against_block(X, norms, xi, xv,
+                                         float(norms[i])) @ v
+    return float(alpha.sum() - 0.5 * (v @ Kv))
+
+
+def run_train_bench(name: str, quick: bool) -> dict:
+    X, y, params = _load(name, quick)
+
+    t0 = time.perf_counter()
+    cold = fit_parallel(X, y, params, nprocs=NPROCS)
+    wall_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = fit_parallel(X, y, params, nprocs=NPROCS, dc=DC_SPEC)
+    wall_dc = time.perf_counter() - t0
+    if warm.dc is None:
+        raise AssertionError("DC run produced no outer-loop stats")
+
+    d_cold = _dual_objective(cold.alpha, X, y, params.kernel)
+    d_warm = _dual_objective(warm.alpha, X, y, params.kernel)
+    tol = 50.0 * params.eps * max(1.0, abs(d_cold))
+    if abs(d_cold - d_warm) > tol:
+        raise AssertionError(
+            f"{name}: DC and cold solves disagree on the optimum: "
+            f"{d_cold} vs {d_warm} (tol {tol})"
+        )
+
+    modeled_cold = cold.stats.vtime
+    modeled_dc = warm.total_vtime
+    modeled_speedup = modeled_cold / modeled_dc
+    host_speedup = wall_cold / wall_dc
+    combined = float(np.sqrt(modeled_speedup * host_speedup))
+    return {
+        "dataset": name,
+        "n_samples": X.shape[0],
+        "nprocs": NPROCS,
+        "dc": DC_SPEC,
+        "cold_iterations": cold.stats.iterations,
+        "dc_sub_iterations": warm.dc.sub_iterations,
+        "dc_rounds": warm.dc.n_rounds,
+        "dc_refine_iterations": warm.stats.iterations,
+        "dc_warm_gap": warm.dc.final_gap,
+        "dual_objective_gap": abs(d_cold - d_warm),
+        "wall_cold_s": wall_cold,
+        "wall_dc_s": wall_dc,
+        "modeled_cold_ms": 1e3 * modeled_cold,
+        "modeled_dc_ms": 1e3 * modeled_dc,
+        "modeled_speedup": modeled_speedup,
+        "host_speedup": host_speedup,
+        "combined_speedup": combined,
+        "_traces": (cold, warm, X),  # stripped before serialization
+    }
+
+
+def run_scaling_sweep(row: dict, ps) -> dict:
+    cold, warm, X = row.pop("_traces")
+    n = X.shape[0]
+    avg_nnz = X.nnz / max(1, n)
+    machine = MachineSpec.multinode(ranks_per_node=RANKS_PER_NODE)
+    rounds = [
+        r
+        for level in warm.dc.to_dict()["levels"]
+        for r in level["rounds"]
+    ]
+
+    sweep = []
+    for p in ps:
+        per_comm = {}
+        for comm in ("flat", "hierarchical"):
+            cold_t = project(cold.trace, machine, p, comm=comm).total
+            outer = project_dc_outer(rounds, machine, p, n=n,
+                                     avg_nnz=avg_nnz, comm=comm)
+            refine_t = project(warm.trace, machine, p, comm=comm).total
+            per_comm[comm] = {
+                "cold": cold_t,
+                "dc_outer": outer.total,
+                "dc_refine": refine_t,
+                "dc_total": outer.total + refine_t,
+                "speedup": cold_t / (outer.total + refine_t),
+            }
+        sweep.append({"p": p, **{
+            f"{comm}_{key}": val
+            for comm, d in per_comm.items()
+            for key, val in d.items()
+        }})
+    return {
+        "dataset": row["dataset"],
+        "machine": "multinode",
+        "ranks_per_node": RANKS_PER_NODE,
+        "sweep": sweep,
+    }
+
+
+def check_bars(report: dict) -> None:
+    """The acceptance bar, enforced on the biggest miniature."""
+    bar_row = next(
+        r for r in report["datasets"] if r["dataset"] == BAR_DATASET
+    )
+    if bar_row["combined_speedup"] < BAR:
+        raise AssertionError(
+            f"{BAR_DATASET}: combined speedup "
+            f"{bar_row['combined_speedup']:.2f}x is below the {BAR}x bar "
+            f"(modeled {bar_row['modeled_speedup']:.2f}x, "
+            f"host {bar_row['host_speedup']:.2f}x)"
+        )
+    bar_sweep = next(
+        s for s in report["scaling"] if s["dataset"] == BAR_DATASET
+    )
+    for r in bar_sweep["sweep"]:
+        for comm in ("flat", "hierarchical"):
+            if r[f"{comm}_speedup"] <= 1.0:
+                raise AssertionError(
+                    f"{BAR_DATASET}: DC loses to cold at p={r['p']} "
+                    f"({comm}): {r[f'{comm}_speedup']:.2f}x"
+                )
+
+
+def build_report(quick: bool = False) -> dict:
+    ps = QUICK_PS if quick else SWEEP_PS
+    names = (BAR_DATASET,) if quick else DATASET_NAMES
+    rows, scaling = [], []
+    for name in names:
+        row = run_train_bench(name, quick)
+        scaling.append(run_scaling_sweep(row, ps))
+        rows.append(row)
+    return {
+        "bench": "dc_train",
+        "quick": quick,
+        "bar_dataset": BAR_DATASET,
+        "bar_combined_speedup": BAR,
+        "datasets": rows,
+        "scaling": scaling,
+    }
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"DC-warm-started vs cold exact solve (simulated p={NPROCS}, "
+        f"--dc {DC_SPEC}):",
+        f"  {'dataset':>8} {'n':>6} {'cold it':>8} {'refine it':>9} "
+        f"{'modeled':>8} {'host':>6} {'combined':>8}",
+    ]
+    for r in report["datasets"]:
+        lines.append(
+            f"  {r['dataset']:>8} {r['n_samples']:>6} "
+            f"{r['cold_iterations']:>8,} {r['dc_refine_iterations']:>9,} "
+            f"{r['modeled_speedup']:>7.2f}x {r['host_speedup']:>5.2f}x "
+            f"{r['combined_speedup']:>7.2f}x"
+        )
+    for s in report["scaling"]:
+        lines += [
+            "",
+            f"projected DC vs cold scaling, {s['dataset']} "
+            f"({s['ranks_per_node']} ranks/node):",
+            f"  {'p':>5} {'cold flat':>10} {'dc flat':>10} {'speedup':>8} "
+            f"{'cold hier':>10} {'dc hier':>10} {'speedup':>8}",
+        ]
+        for r in s["sweep"]:
+            lines.append(
+                f"  {r['p']:>5} "
+                f"{r['flat_cold'] * 1e3:>8.1f}ms "
+                f"{r['flat_dc_total'] * 1e3:>8.1f}ms "
+                f"{r['flat_speedup']:>7.2f}x "
+                f"{r['hierarchical_cold'] * 1e3:>8.1f}ms "
+                f"{r['hierarchical_dc_total'] * 1e3:>8.1f}ms "
+                f"{r['hierarchical_speedup']:>7.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def test_dc_train_bench_quick():
+    """Pytest entry: the smoke-scale bench must hold its invariants."""
+    report = build_report(quick=True)
+    row = report["datasets"][0]
+    assert row["dc_refine_iterations"] < row["cold_iterations"]
+    assert row["dual_objective_gap"] < 50.0 * EPS * 1e4
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="half-scale bar dataset only, skip the bars")
+    ap.add_argument("--out", default=str(OUT_PATH),
+                    help="report path (default: repo root)")
+    args = ap.parse_args()
+
+    report = build_report(quick=args.quick)
+    print(format_report(report))
+    if not args.quick:
+        check_bars(report)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

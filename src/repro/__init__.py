@@ -32,9 +32,11 @@ from . import mpi  # noqa: F401  (re-exported subsystem)
 from .config import RunConfig
 from .core import (
     SVC,
+    DCConfig,
     MultiClassSVC,
     SVMModel,
     decision_function_parallel,
+    fit_dc,
     fit_parallel,
     load_model,
     predict_parallel,
@@ -46,6 +48,7 @@ from .serve import BatchPolicy, ServeResult, ServeStats, serve_requests
 
 __all__ = [
     "BatchPolicy",
+    "DCConfig",
     "MultiClassSVC",
     "RunConfig",
     "SVC",
@@ -54,6 +57,7 @@ __all__ = [
     "ServeStats",
     "__version__",
     "decision_function_parallel",
+    "fit_dc",
     "fit_parallel",
     "load_model",
     "mpi",

@@ -82,6 +82,10 @@ def _add_train(sub) -> None:
     p.add_argument("--comm", default=None, choices=("flat", "hierarchical"),
                    help="collective suite (default: flat, or the "
                         "REPRO_SVM_COMM environment variable)")
+    p.add_argument("--dc", default=None, metavar="SPEC",
+                   help="divide-and-conquer outer loop: cluster count "
+                        "('4') or knobs ('clusters=4,levels=2,seed=7'); "
+                        "the sub-duals warm-start the exact solve")
     p.add_argument("--model-out", help="write the trained model (JSON)")
 
 
@@ -144,6 +148,7 @@ def cmd_train(args) -> int:
         comm=args.comm,
         machine=_machine(args.machine),
         faults=args.faults,
+        dc=args.dc,
     )
     clf = SVC(
         C=C,
@@ -164,6 +169,25 @@ def cmd_train(args) -> int:
               f"fired {fired or 'nothing'}")
     stats = clf.fit_result_.stats
     trace = clf.fit_result_.trace
+    dc_stats = clf.fit_result_.dc
+    if dc_stats is not None:
+        for ls in dc_stats.levels:
+            sizes = (
+                f"sizes {min(ls.cluster_sizes)}..{max(ls.cluster_sizes)}, "
+                if ls.cluster_sizes
+                else ""
+            )
+            print(
+                f"dc level {ls.level}: {ls.n_clusters} clusters ({sizes}"
+                f"{ls.n_rounds} rounds, {ls.iterations} sub-iterations), "
+                f"{ls.vtime * 1e3:.2f} ms modeled makespan"
+            )
+        print(
+            f"dc outer loop [{dc_stats.config}]: gap {dc_stats.final_gap:.2e} "
+            f"after {dc_stats.n_rounds} rounds, "
+            f"{dc_stats.outer_vtime * 1e3:.2f} ms modeled, "
+            f"refinement below starts warm"
+        )
     print(
         f"trained in {wall:.2f}s wall "
         f"({stats.vtime * 1e3:.2f} ms modeled on {args.machine} "

@@ -59,6 +59,12 @@ class RunConfig:
         Host-seconds watchdog for the simulated job.
     trace:
         Record a :class:`~repro.mpi.tracing.Tracer` event log on the job.
+    dc:
+        Divide-and-conquer outer loop for training (a
+        :class:`~repro.core.dcsvm.DCConfig`, a spec string such as
+        ``"clusters=4,levels=2,seed=7"``, an int cluster count, or
+        ``None`` for the plain cold start).  Only consulted by the
+        training entry points.
     """
 
     nprocs: int = 1
@@ -69,6 +75,7 @@ class RunConfig:
     faults: Any = None
     deadlock_timeout: float = 120.0
     trace: bool = False
+    dc: Any = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -118,6 +125,7 @@ class RunConfig:
             "faults": str(self.faults) if self.faults is not None else None,
             "deadlock_timeout": self.deadlock_timeout,
             "trace": self.trace,
+            "dc": str(self.dc) if self.dc is not None else None,
         }
 
 

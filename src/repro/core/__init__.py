@@ -13,6 +13,7 @@ Layers, bottom-up:
 """
 
 from ..config import RunConfig
+from .dcsvm import DCConfig, DCStats, fit_dc, partition_samples, project_feasible
 from .libsvm_smo import LibsvmResult, solve_libsvm_style
 from .model import SVMModel, load_model, save_model
 from .multiclass import MultiClassSVC
@@ -47,6 +48,8 @@ from .validation import (
 __all__ = [
     "BEST_HEURISTIC",
     "ConvergenceError",
+    "DCConfig",
+    "DCStats",
     "FitResult",
     "FitStats",
     "GridSearchResult",
@@ -69,8 +72,11 @@ __all__ = [
     "WORST_HEURISTIC",
     "cross_val_score",
     "decision_function_parallel",
+    "fit_dc",
     "fit_parallel",
     "fit_svr_parallel",
+    "partition_samples",
+    "project_feasible",
     "get_heuristic",
     "grid_search",
     "kfold_indices",

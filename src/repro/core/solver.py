@@ -22,6 +22,7 @@ from ..mpi import SpmdResult, run_spmd
 from ..perfmodel.machine import MachineSpec
 from ..sparse.csr import CSRMatrix
 from ..sparse.partition import BlockPartition
+from .dcsvm import DCStats, dc_warm_start, project_feasible
 from .model import SVMModel
 from .parallel import ENGINES, RankResult, solve_rank
 from .params import SVMParams
@@ -55,10 +56,17 @@ class FitResult:
     alpha: np.ndarray  # full α vector in global order
     beta_up: float
     beta_low: float
+    #: divide-and-conquer outer-loop summary (None for a cold start)
+    dc: Optional[DCStats] = None
 
     @property
     def vtime(self) -> float:
         return self.stats.vtime
+
+    @property
+    def total_vtime(self) -> float:
+        """Modeled end-to-end time including any DC outer loop."""
+        return self.stats.vtime + (self.dc.outer_vtime if self.dc else 0.0)
 
     @property
     def iterations(self) -> int:
@@ -79,6 +87,7 @@ def fit_parallel(
     faults=None,
     engine: Optional[str] = None,
     comm: Optional[str] = None,
+    dc=None,
 ) -> FitResult:
     """Train with the distributed solver on ``nprocs`` simulated ranks.
 
@@ -120,6 +129,14 @@ def fit_parallel(
     identical models and iteration sequences; only the simulated
     communication cost differs.  ``None`` reads the ``REPRO_SVM_COMM``
     environment variable, falling back to ``"flat"``.
+
+    ``dc`` enables the divide-and-conquer outer loop
+    (:mod:`repro.core.dcsvm`): cluster the samples, solve the
+    subproblems concurrently on carved sub-communicators, and seed this
+    exact solve from the feasibility-projected concatenation of the
+    sub-duals.  The final model still comes from the exact solver — DC
+    changes where the solve *starts*, never where it converges.
+    Mutually exclusive with an explicit ``warm_start_alpha``.
     """
     cfg = resolve_config(
         config,
@@ -130,6 +147,7 @@ def fit_parallel(
         faults=faults,
         engine=engine,
         comm=comm,
+        dc=dc,
     )
     heuristic, nprocs = cfg.heuristic, cfg.nprocs
     machine, faults = cfg.machine, cfg.faults
@@ -151,22 +169,55 @@ def fit_parallel(
     part = BlockPartition(n, nprocs)
     blocks = make_blocks(X, y, part)
 
+    dc_stats: Optional[DCStats] = None
+    if cfg.dc is not None:
+        if warm_start_alpha is not None:
+            raise ValueError(
+                "dc and warm_start_alpha are mutually exclusive: the DC "
+                "outer loop produces the warm start itself"
+            )
+        warm_start_alpha, dc_stats = dc_warm_start(
+            X, y, params, cfg, heur=heur, engine=engine
+        )
+
     if warm_start_alpha is not None:
-        warm_start_alpha = np.asarray(warm_start_alpha, dtype=np.float64)
+        w_in = np.asarray(warm_start_alpha)
+        if not np.issubdtype(w_in.dtype, np.number) or np.issubdtype(
+            w_in.dtype, np.complexfloating
+        ):
+            raise TypeError(
+                f"warm_start_alpha must be real-valued, got dtype {w_in.dtype}"
+            )
+        # any real dtype is accepted and upcast; a narrower float's
+        # rounding error widens the constraint slack proportionally
+        eps_in = (
+            np.finfo(w_in.dtype).eps
+            if np.issubdtype(w_in.dtype, np.floating)
+            else np.finfo(np.float64).eps
+        )
+        warm_start_alpha = w_in.astype(np.float64)
         if warm_start_alpha.shape != (n,):
             raise ValueError(
                 f"warm_start_alpha has shape {warm_start_alpha.shape}, "
                 f"expected ({n},)"
             )
         box = params.box_for(y)
-        if np.any(warm_start_alpha < -1e-12) or np.any(
-            warm_start_alpha > box + 1e-9
+        box_slack = max(1e-9, 4.0 * eps_in * float(np.max(box)))
+        if np.any(warm_start_alpha < -max(1e-12, box_slack)) or np.any(
+            warm_start_alpha > box + box_slack
         ):
             raise ValueError("warm_start_alpha violates the box constraints")
-        if abs(float(warm_start_alpha @ y)) > 1e-6 * max(1.0, params.C):
+        eq_tol = 1e-6 * max(1.0, params.C)
+        eq_slack = max(eq_tol, 8.0 * eps_in * params.C * n)
+        residual = abs(float(warm_start_alpha @ y))
+        if residual > eq_slack:
             raise ValueError(
                 "warm_start_alpha violates the equality constraint sum(a*y)=0"
             )
+        if residual > eq_tol:
+            # a narrower dtype's rounding residual, within its slack:
+            # repair it exactly instead of rejecting the seed
+            warm_start_alpha = project_feasible(warm_start_alpha, y, box)
         for rank, blk in enumerate(blocks):
             lo, hi = part.bounds(rank)
             blk.alpha[:] = np.clip(warm_start_alpha[lo:hi], 0.0, box[lo:hi])
@@ -222,4 +273,5 @@ def fit_parallel(
         alpha=alpha,
         beta_up=results[0].beta_up,
         beta_low=results[0].beta_low,
+        dc=dc_stats,
     )

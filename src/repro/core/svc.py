@@ -75,6 +75,13 @@ class SVC:
         aware two-level collectives); ``None`` defers to the
         ``REPRO_SVM_COMM`` environment variable (default ``"flat"``).
         Both suites produce bitwise-identical models.
+    dc:
+        Divide-and-conquer outer loop (:mod:`repro.core.dcsvm`): a
+        :class:`~repro.core.dcsvm.DCConfig`, a spec string such as
+        ``"clusters=4,levels=2"``, or an int cluster count.  The
+        subproblem duals warm-start the exact solve, so the final model
+        is still tolerance-certified exact.  ``None`` (default) trains
+        cold.
     config:
         A :class:`~repro.config.RunConfig` bundling the run-time knobs
         (``nprocs``, ``heuristic``, ``engine``, ``machine``, ``faults``,
@@ -99,6 +106,7 @@ class SVC:
         faults=None,
         engine: Optional[str] = None,
         comm: Optional[str] = None,
+        dc=None,
         config: Optional[RunConfig] = None,
     ) -> None:
         if gamma is not None and sigma_sq is not None:
@@ -111,6 +119,7 @@ class SVC:
             faults=faults,
             engine=engine,
             comm=comm,
+            dc=dc,
         )
         self.C = C
         self.kernel = kernel
@@ -126,6 +135,7 @@ class SVC:
         self.faults = cfg.faults
         self.engine = cfg.engine
         self.comm = cfg.comm
+        self.dc = cfg.dc
         self.config = cfg
 
         self.model_ = None
@@ -193,6 +203,7 @@ class SVC:
             faults=self.faults,
             engine=self.engine,
             comm=self.comm,
+            dc=self.dc,
         )
 
     # ------------------------------------------------------------------
@@ -285,6 +296,7 @@ class SVC:
             "faults": self.faults,
             "engine": self.engine,
             "comm": self.comm,
+            "dc": self.dc,
         }
 
     def set_params(self, **kwargs) -> "SVC":
@@ -345,6 +357,7 @@ class SVC:
                 "shrink_eps_factor": self.shrink_eps_factor,
                 "class_weight": cw,
                 "engine": self.engine,
+                "dc": str(self.dc) if self.dc is not None else None,
             },
             "model": model_to_jsonable(self.model_),
         }

@@ -267,6 +267,41 @@ class HierarchicalCollectives(FlatCollectives):
         return out
 
 
+def carve(comm, members: Sequence[int]):
+    """A full sub-communicator over ``members``, carved without traffic.
+
+    Promotes the :class:`_SubView` rank-remapping idiom — virtual rank
+    ``i`` is ``members[i]`` — from a per-collective window to a real
+    :class:`~repro.mpi.communicator.Comm` with its own context, so the
+    whole solver stack (point-to-point, collectives under either suite,
+    fault injection, tag sequencing) runs unchanged inside the carved
+    group.  Unlike ``Comm.Split`` there is no allgather: every member
+    is required to compute the *same* ``members`` list redundantly
+    (the SPMD idiom the DC outer loop uses), and the runtime's
+    deterministic context allocation keyed on ``(parent ctx, group)``
+    guarantees all members agree on the new context id.
+
+    Returns ``None`` on ranks outside ``members``.
+    """
+    members = tuple(members)
+    if len(members) == 0:
+        raise ValueError("cannot carve an empty communicator")
+    if len(set(members)) != len(members):
+        raise ValueError(f"duplicate ranks in carve group {members}")
+    for r in members:
+        if not 0 <= r < comm.size:
+            raise ValueError(
+                f"rank {r} out of range for communicator of size {comm.size}"
+            )
+    if comm.rank not in members:
+        return None
+    from .communicator import Comm  # local import: topology <- communicator
+
+    group = tuple(comm._global(r) for r in members)
+    ctx = comm._runtime.allocate_context(("carve", comm._context, group))
+    return Comm(comm._runtime, group, members.index(comm.rank), ctx)
+
+
 #: the ``create_communicator(name)`` registry
 COMMUNICATORS = {
     "flat": FlatCollectives,

@@ -17,15 +17,18 @@ from .calibration import (
 )
 from .machine import MachineSpec
 from .projector import (
+    DCProjection,
     ProjectedTime,
     parallel_efficiency,
     project,
+    project_dc_outer,
     project_series,
     speedup_vs,
 )
 
 __all__ = [
     "BaselineTime",
+    "DCProjection",
     "LambdaMeasurement",
     "ProjectorValidation",
     "MachineSpec",
@@ -36,6 +39,7 @@ __all__ = [
     "paper_scale_baseline",
     "parallel_efficiency",
     "project",
+    "project_dc_outer",
     "project_series",
     "speedup_vs",
     "validate_projector",

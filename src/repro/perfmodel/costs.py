@@ -53,6 +53,13 @@ def allgather_ring_time(m: MachineSpec, chunk_bytes: float, p: int) -> float:
     return ring_exchange_time(m, chunk_bytes, p)
 
 
+def allgather_time(m: MachineSpec, total_bytes: float, p: int) -> float:
+    """Bruck/dissemination allgather: log2(p) latency steps, every rank
+    ends with the full ``total_bytes`` payload.  Preferred over the ring
+    for small payloads, where the ring's p-1 latency hops dominate."""
+    return log2ceil(p) * m.latency + total_bytes * m.byte_time
+
+
 def node_geometry(m: MachineSpec, p: int) -> "tuple[int, int]":
     """``(k, nn)``: ranks per node and node count for ``p`` block-placed
     ranks on ``m`` (the last node may be partially filled)."""
@@ -164,3 +171,79 @@ def election_time(
     if comm == "hierarchical":
         return hier_allreduce_time(m, nbytes, p)
     return allreduce_time(m, nbytes, p)
+
+
+# ----------------------------------------------------------------------
+# divide-and-conquer outer loop (repro.core.dcsvm)
+# ----------------------------------------------------------------------
+#: landmark candidate pool cap of the DC partitioner (kept in sync with
+#: repro.core.dcsvm._LANDMARK_POOL)
+DC_LANDMARK_POOL = 256
+
+
+def dc_pool_time(m: MachineSpec, n: int, avg_nnz: float) -> float:
+    """One-time landmark-pool setup: the pool x pool kernel block the
+    per-round kernel-k-means++ rotation draws its landmarks from."""
+    pool = min(n, DC_LANDMARK_POOL)
+    return m.time_kernel_evals(float(pool) * pool, avg_nnz)
+
+
+def dc_scatter_time(m: MachineSpec, n: int, p: int, avg_nnz: float) -> float:
+    """One-time replication of the sample rows: DC re-clusters every
+    round, so every rank keeps the full row set (the standard DC-SVM
+    layout) -- one binomial broadcast of the whole matrix."""
+    if p <= 1:
+        return 0.0
+    return bcast_time(m, n * sample_bytes(avg_nnz), p)
+
+
+def dc_rotate_time(
+    m: MachineSpec, n: int, k: int, p: int, new_cols: int, avg_nnz: float
+) -> float:
+    """One partition rotation.
+
+    Landmark selection is flops over the cached pool block; the
+    ``new_cols`` first-touched landmarks cost one n-row kernel column
+    each (evaluated n/p per rank, then allgathered); assignment is the
+    capacity-constrained greedy (a few flops per (sample, preference)
+    pair, sequential on the root) plus the broadcast of the int8
+    assignment vector.
+    """
+    pool = min(n, DC_LANDMARK_POOL)
+    col_evals = math.ceil(n / p) * new_cols
+    t = m.time_kernel_evals(float(col_evals), avg_nnz)
+    if new_cols:
+        t += allgather_time(m, new_cols * 8.0 * n, p)
+    t += m.time_flops(8.0 * pool * k)  # k-means++ D2 bookkeeping
+    t += m.time_flops(8.0 * n * k)  # preference sort + greedy sweep
+    t += bcast_time(m, float(n), p)  # the assignment vector
+    return t
+
+
+def dc_sync_time(
+    m: MachineSpec, n: int, p: int, changed: int, new_cols: int,
+    avg_nnz: float,
+) -> float:
+    """One line-searched merge + gradient update.
+
+    The blockwise step d lives on ``changed`` coordinates: allgather
+    the (index, delta) pairs, evaluate kernel columns only for the
+    ``new_cols`` cache misses (n/p rows per rank), apply the rank-local
+    gemv slice Delta-f = K[:, changed] . (d o y), and allreduce the two
+    line-search dot products plus the beta_up/beta_low convergence pair.
+    """
+    if changed <= 0:
+        return allreduce_time(m, 4 * 8.0, p)
+    t = allgather_time(m, 16.0 * changed, p)
+    t += m.time_kernel_evals(float(math.ceil(n / p)) * new_cols, avg_nnz)
+    t += m.time_flops(2.0 * math.ceil(n / p) * changed)  # gemv slice
+    t += m.time_flops(6.0 * math.ceil(n / p))  # axpy + masks
+    t += allreduce_time(m, 2 * 8.0, p)  # line-search dots
+    t += allreduce_time(m, 4 * 8.0, p)  # beta_up / beta_low election
+    return t
+
+
+def dc_project_time(m: MachineSpec, n: int) -> float:
+    """Feasibility projection of the final dual: a clip plus a handful
+    of equality-correction sweeps, each O(n)."""
+    return m.time_flops(6.0 * 8.0 * n)

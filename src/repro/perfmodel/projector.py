@@ -226,3 +226,106 @@ def parallel_efficiency(times: List[ProjectedTime]) -> List[float]:
         (base.total * base.p) / (t.total * t.p) if t.total > 0 else 0.0
         for t in times
     ]
+
+
+# ----------------------------------------------------------------------
+# divide-and-conquer outer-loop projection (repro.core.dcsvm)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DCProjection:
+    """Modeled DC outer-loop time at one process count."""
+
+    p: int
+    total: float
+    sub_solve: float
+    rotate: float
+    sync: float
+    setup: float
+
+
+def project_dc_outer(
+    rounds: Iterable[dict],
+    machine: MachineSpec,
+    p: int,
+    *,
+    n: int,
+    avg_nnz: float,
+    comm: str = "flat",
+) -> DCProjection:
+    """Price a recorded DC outer loop at ``p`` processes.
+
+    ``rounds`` is the per-round record list from
+    :meth:`repro.core.dcsvm.DCStats.to_dict` (each entry carries the
+    cluster sizes, per-cluster iteration and kernel-evaluation counts,
+    and the changed / cache-miss column counts).  The sub-solve
+    iteration sequence is process-count independent (the engine
+    guarantee the whole projector rests on), so the same recorded
+    rounds replay at any ``p``: ranks are grouped ``min(p, k)`` ways,
+    each group runs its share of the clusters back to back, and the
+    round's makespan is the slowest group.  The per-iteration model
+    mirrors :func:`project`, with the effective gamma-update width
+    recovered from the recorded kernel evaluations (the sub-solves
+    shrink, so the width is usually far below the cluster size).
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if comm not in ("flat", "hierarchical"):
+        raise ValueError(f"unknown comm {comm!r} (flat | hierarchical)")
+    from ..sparse.partition import BlockPartition
+
+    m = machine
+    lam = m.time_kernel_evals(1.0, avg_nnz)
+    sbytes = costs.sample_bytes(avg_nnz)
+    _bcast = costs.hier_bcast_time if comm == "hierarchical" else costs.bcast_time
+
+    sub_total = rotate_total = sync_total = 0.0
+    pool = 0
+    for r in rounds:
+        sizes = r["cluster_sizes"]
+        iters = r["iterations"]
+        evals = r.get("kernel_evals") or [2 * it * sz for it, sz in zip(iters, sizes)]
+        bcasts = r.get("pair_broadcasts") or [2 * it for it in iters]
+        k_eff = len(sizes)
+        ngroups = min(p, k_eff)
+        gpart = BlockPartition(p, ngroups)
+        cpart = BlockPartition(k_eff, ngroups)
+        group_time = [0.0] * ngroups
+        for c, (sz, it, ev, nb) in enumerate(zip(sizes, iters, evals, bcasts)):
+            g = cpart.owner(c)
+            p_c = min(gpart.count(g), sz)
+            if it <= 0:
+                continue
+            # effective active width per iteration, recovered from the
+            # recorded kernel-eval count (3 pair evals + 2*width update)
+            width = min(float(sz), max(1.0, (ev / it - 3.0) / 2.0))
+            per_rank = np.ceil(width / p_c)
+            compute = (2.0 * per_rank + 3.0) * lam + m.time_flops(
+                _SELECT_FLOPS * per_rank
+            )
+            group_time[g] += it * (
+                compute + costs.election_time(m, p_c, comm=comm)
+            )
+            # owner-rooted pair broadcasts fire only on resident-cache
+            # misses; the recorded per-cluster count prices them exactly
+            group_time[g] += nb * _bcast(m, sbytes, p_c)
+        sub_total += max(group_time) if group_time else 0.0
+        rotate_total += costs.dc_rotate_time(
+            m, n, r["k"], p, r.get("new_landmark_cols", 0), avg_nnz
+        )
+        sync_total += costs.dc_sync_time(
+            m, n, p, r.get("changed", 0), r.get("new_sync_cols", 0), avg_nnz
+        )
+        pool = max(pool, r["k"])
+    setup = (
+        costs.dc_pool_time(m, n, avg_nnz)
+        + costs.dc_scatter_time(m, n, p, avg_nnz)
+        + costs.dc_project_time(m, n)
+    )
+    return DCProjection(
+        p=p,
+        total=sub_total + rotate_total + sync_total + setup,
+        sub_solve=sub_total,
+        rotate=rotate_total,
+        sync=sync_total,
+        setup=setup,
+    )

@@ -1,0 +1,98 @@
+"""Property tests for the DC partitioner (:func:`partition_samples`).
+
+The partitioner's contract (exactly-once assignment, per-class label
+balance, seed-determinism) is what makes the sub-problems well-posed
+and the outer loop reproducible at any process count, so it is tested
+as properties over generated problems rather than a few examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from ..conftest import make_blobs
+from repro.core import partition_samples
+from repro.kernels import LinearKernel, RBFKernel
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def problems(draw):
+    n = draw(st.integers(min_value=2, max_value=90))
+    k = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    sep = draw(st.floats(min_value=0.0, max_value=4.0))
+    data_seed = draw(st.integers(min_value=0, max_value=1000))
+    kernel = draw(st.sampled_from([RBFKernel(0.5), LinearKernel()]))
+    X, y = make_blobs(n=n, sep=sep, noise=1.0, seed=data_seed)
+    # make_blobs is two-class; sometimes collapse to a single class to
+    # exercise the degenerate one-class path
+    if draw(st.booleans()) and n >= 4:
+        y = np.ones(n)
+    return X, y, k, kernel, seed
+
+
+@given(problems())
+@settings(**_SETTINGS)
+def test_every_sample_assigned_exactly_once(problem):
+    X, y, k, kernel, seed = problem
+    assign = partition_samples(X, y, k, kernel, seed=seed)
+    n = X.shape[0]
+    assert assign.shape == (n,)
+    assert np.issubdtype(assign.dtype, np.integer)
+    k_eff = min(k, n)
+    assert np.all(assign >= 0) and np.all(assign < k_eff)
+    # "exactly once" is the shape contract: one entry per sample, and
+    # the per-cluster counts add back up to n
+    counts = np.bincount(assign, minlength=k_eff)
+    assert counts.sum() == n
+
+
+@given(problems())
+@settings(**_SETTINGS)
+def test_per_class_label_balance(problem):
+    """Cluster j holds between floor(n_c/k) and ceil(n_c/k) samples of
+    every class c — no sub-problem is starved of either label."""
+    X, y, k, kernel, seed = problem
+    assign = partition_samples(X, y, k, kernel, seed=seed)
+    k_eff = min(k, X.shape[0])
+    for cls in np.unique(y):
+        per_cluster = np.bincount(assign[y == cls], minlength=k_eff)
+        n_c = int((y == cls).sum())
+        assert per_cluster.min() >= n_c // k_eff
+        assert per_cluster.max() <= -(-n_c // k_eff)
+
+
+@given(problems())
+@settings(**_SETTINGS)
+def test_identical_seed_identical_partition(problem):
+    """The assignment is a pure function of (X, y, k, kernel, seed):
+    repeated calls are bit-identical, which is what makes the DC path
+    reproducible across process counts and comm suites."""
+    X, y, k, kernel, seed = problem
+    a = partition_samples(X, y, k, kernel, seed=seed)
+    b = partition_samples(X, y, k, kernel, seed=seed)
+    np.testing.assert_array_equal(a, b)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_different_seeds_rotate_the_partition(seed):
+    """Different seeds should usually give different partitions — the
+    outer loop relies on rotation for coverage.  (Not guaranteed per
+    pair, so assert over a pair of well-separated seeds on a problem
+    large enough that collisions are vanishingly unlikely.)"""
+    X, y = make_blobs(n=80, sep=1.0, noise=1.2, seed=5)
+    a = partition_samples(X, y, 4, RBFKernel(0.5), seed=seed)
+    b = partition_samples(X, y, 4, RBFKernel(0.5), seed=seed + 104729)
+    # identical is possible in principle; flag only the systematic case
+    if np.array_equal(a, b):  # pragma: no cover - astronomically rare
+        c = partition_samples(X, y, 4, RBFKernel(0.5), seed=seed + 224737)
+        assert not np.array_equal(a, c)

@@ -2,8 +2,15 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import SVMParams, fit_parallel, solve_sequential
+from repro.core import (
+    SVMParams,
+    fit_parallel,
+    project_feasible,
+    solve_sequential,
+)
 from repro.kernels import RBFKernel
 
 from ..conftest import check_kkt, make_blobs
@@ -96,3 +103,122 @@ def test_zero_seed_equals_cold_start(problem):
     )
     assert np.array_equal(cold.alpha, warm.alpha)
     assert warm.iterations == cold.iterations
+
+class TestFeasibilityProjection:
+    """Property tests for :func:`repro.core.project_feasible` — the
+    repair step that makes concatenated DC sub-duals a legal seed."""
+
+    @staticmethod
+    def _assert_feasible(a, y, box):
+        n = y.shape[0]
+        box = np.broadcast_to(np.asarray(box, dtype=np.float64), (n,))
+        assert a.shape == (n,)
+        assert np.all(a >= 0.0)
+        assert np.all(a <= box + 1e-12)
+        scale = max(1.0, float(box.max(initial=0.0)))
+        assert abs(float(a @ y)) <= 1e-10 * scale * max(1, n)
+
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        C=st.floats(min_value=1e-3, max_value=1e4),
+        seed=st.integers(min_value=0, max_value=10_000),
+        spread=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_feasible(self, n, C, seed, spread):
+        rng = np.random.default_rng(seed)
+        y = np.where(rng.random(n) < 0.5, 1.0, -1.0)
+        alpha = rng.normal(0.0, spread * C, n)  # arbitrary, even negative
+        out = project_feasible(alpha, y, np.full(n, C))
+        self._assert_feasible(out, y, np.full(n, C))
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_per_sample_box(self, n, seed):
+        """Per-coordinate box vectors (class-weighted C) are respected."""
+        rng = np.random.default_rng(seed)
+        y = np.where(rng.random(n) < 0.5, 1.0, -1.0)
+        box = rng.uniform(0.1, 5.0, n)
+        alpha = rng.uniform(-2.0, 7.0, n)
+        out = project_feasible(alpha, y, box)
+        self._assert_feasible(out, y, box)
+
+    def test_all_zero_is_identity(self):
+        y = np.array([1.0, -1.0, 1.0, -1.0])
+        out = project_feasible(np.zeros(4), y, np.full(4, 10.0))
+        np.testing.assert_array_equal(out, np.zeros(4))
+
+    def test_feasible_input_unchanged(self):
+        y = np.array([1.0, -1.0, 1.0, -1.0])
+        a = np.array([2.0, 3.0, 1.0, 0.0])  # sum(a*y) = 0, inside box
+        out = project_feasible(a.copy(), y, np.full(4, 10.0))
+        np.testing.assert_allclose(out, a, atol=1e-12)
+
+    def test_all_at_C_balanced(self):
+        """Balanced labels at the upper bound are already feasible."""
+        y = np.array([1.0, -1.0, 1.0, -1.0])
+        C = 10.0
+        out = project_feasible(np.full(4, C), y, np.full(4, C))
+        self._assert_feasible(out, y, np.full(4, C))
+        np.testing.assert_allclose(out, np.full(4, C))
+
+    def test_all_at_C_unbalanced(self):
+        """Unbalanced labels at the bound force a genuine projection."""
+        y = np.array([1.0, 1.0, 1.0, -1.0])
+        C = 10.0
+        out = project_feasible(np.full(4, C), y, np.full(4, C))
+        self._assert_feasible(out, y, np.full(4, C))
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_class_projects_to_zero(self, n, seed):
+        """A one-class cluster can only satisfy sum(a*y)=0 at a = 0."""
+        rng = np.random.default_rng(seed)
+        y = np.ones(n) * (1.0 if seed % 2 else -1.0)
+        alpha = rng.uniform(0.0, 5.0, n)
+        out = project_feasible(alpha, y, np.full(n, 5.0))
+        self._assert_feasible(out, y, np.full(n, 5.0))
+        np.testing.assert_allclose(out, np.zeros(n), atol=1e-9)
+
+    def test_empty_input(self):
+        out = project_feasible(np.zeros(0), np.zeros(0), np.zeros(0))
+        assert out.shape == (0,)
+
+
+class TestWarmStartDtype:
+    """Regression: float32 (and other real dtypes) seeds are accepted
+    and upcast, not rejected."""
+
+    def test_float32_seed_accepted(self, problem):
+        X, y = problem
+        cold = fit_parallel(X, y, PARAMS, nprocs=2)
+        seed32 = cold.alpha.astype(np.float32)
+        warm = fit_parallel(X, y, PARAMS, nprocs=2, warm_start_alpha=seed32)
+        assert warm.alpha.dtype == np.float64
+        # the float32 rounding perturbs the seed by ~1e-7 * C: the
+        # refinement must still land on an eps-KKT point quickly
+        assert warm.iterations <= max(10, cold.iterations // 10)
+        check_kkt(X, y, warm.alpha, warm.model.beta, PARAMS.kernel,
+                  PARAMS.C, PARAMS.eps)
+
+    def test_integer_zero_seed_accepted(self, problem):
+        X, y = problem
+        warm = fit_parallel(
+            X, y, PARAMS, nprocs=1,
+            warm_start_alpha=np.zeros(X.shape[0], dtype=np.int64),
+        )
+        assert warm.alpha.dtype == np.float64
+
+    def test_complex_seed_rejected(self, problem):
+        X, y = problem
+        with pytest.raises((TypeError, ValueError)):
+            fit_parallel(
+                X, y, PARAMS,
+                warm_start_alpha=np.zeros(X.shape[0], dtype=np.complex128),
+            )
