@@ -1,0 +1,72 @@
+"""Benchmark: self-healing replicated serving fleet.
+
+Two scenario families against a model trained on the mushrooms
+miniature:
+
+- **kill-mid-traffic recovery** across (``nprocs``, ``replicas``) —
+  a kill fault takes a replica down mid-slab; the router drains the
+  in-flight slab to a healthy replica and a replacement shard-group
+  re-shards from the registry's saved model.  Every admitted request
+  must complete, exactly once, bitwise equal to direct
+  ``decision_function`` scoring.
+- **hot-swap under load** — a second model version activates atomically
+  mid-stream with the result cache warm; the retired version's cache
+  namespace is flushed, so zero stale-version scores may be served by
+  scorers or cache.
+
+Also records the analytic fleet projection
+(``repro.perfmodel.project_fleet``) at each swept geometry.  Results
+land in ``BENCH_serve_fleet.json`` at the repo root (strict JSON — the
+report convention maps non-finite floats to null).  Run either way::
+
+    python benchmarks/bench_serve_fleet.py [--quick]
+    pytest benchmarks/bench_serve_fleet.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.serve.benchmark import (
+    check_fleet_bars,
+    format_fleet_report,
+    run_fleet_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_serve_fleet.json"
+
+
+def run_bench(quick: bool = False) -> dict:
+    report = run_fleet_bench(quick=quick)
+    OUT_PATH.write_text(
+        json.dumps(report, indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    return report
+
+
+def test_fleet_recovery(results_dir):
+    report = run_bench()
+    # every scenario asserted completion / exactly-once / bitwise
+    # equality inside the run; here we hold the failover and
+    # zero-staleness bars
+    check_fleet_bars(report)
+    (results_dir / "serve_fleet.txt").write_text(
+        format_fleet_report(report) + "\n", encoding="utf-8"
+    )
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    report = run_bench(quick=quick)
+    print(format_fleet_report(report))
+    check_fleet_bars(report)
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,17 +44,33 @@ from .core import (
     train,
 )
 from . import serve  # noqa: F401  (re-exported subsystem)
-from .serve import BatchPolicy, ServeResult, ServeStats, serve_requests
+from .serve import (
+    BatchPolicy,
+    FleetResult,
+    KillReplica,
+    ModelRegistry,
+    ServeResult,
+    ServeStats,
+    SwapModel,
+    TenantQuota,
+    serve_fleet,
+    serve_requests,
+)
 
 __all__ = [
     "BatchPolicy",
     "DCConfig",
+    "FleetResult",
+    "KillReplica",
+    "ModelRegistry",
     "MultiClassSVC",
     "RunConfig",
     "SVC",
     "SVMModel",
     "ServeResult",
     "ServeStats",
+    "SwapModel",
+    "TenantQuota",
     "__version__",
     "decision_function_parallel",
     "fit_dc",
@@ -64,6 +80,7 @@ __all__ = [
     "predict_parallel",
     "save_model",
     "serve",
+    "serve_fleet",
     "serve_requests",
     "train",
 ]

@@ -5,7 +5,7 @@
     python -m repro train   --dataset mnist --heuristic multi5pc --nprocs 8
     python -m repro train   --train-file data.libsvm --C 10 --sigma-sq 4
     python -m repro predict --model model.json --data test.libsvm
-    python -m repro serve-bench [--quick] [--out BENCH_serve.json]
+    python -m repro serve-bench [--quick] [--fleet] [--out BENCH_serve.json]
     python -m repro info
     python -m repro bench   fig6 table5
 
@@ -106,8 +106,15 @@ def _add_serve_bench(sub) -> None:
     p.add_argument("--quick", action="store_true",
                    help="small request count, skip the speedup bars "
                         "(bitwise-equality checks still run)")
-    p.add_argument("--out", default="BENCH_serve.json",
-                   help="report path (default: ./BENCH_serve.json)")
+    p.add_argument("--out", default=None,
+                   help="report path (default: ./BENCH_serve.json, or "
+                        "./BENCH_serve_fleet.json with --fleet)")
+    p.add_argument("--fleet", action="store_true",
+                   help="run the replicated-fleet benchmark instead "
+                        "(kill-mid-traffic recovery + hot-swap under load)")
+    p.add_argument("--replicas", type=int, default=None,
+                   help="with --fleet: restrict the sweep to one replica "
+                        "count")
 
 
 def _add_info(sub) -> None:
@@ -250,14 +257,31 @@ def cmd_serve_bench(args) -> int:
     import json
     from pathlib import Path
 
-    from .serve.benchmark import check_bars, format_report, run_serve_bench
+    from .serve import benchmark as B
 
-    report = run_serve_bench(quick=args.quick)
-    print(format_report(report))
-    if not args.quick:
-        check_bars(report)
-    out = Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    if args.fleet:
+        report = B.run_fleet_bench(quick=args.quick)
+        if args.replicas is not None:
+            report["scenarios"] = [
+                s for s in report["scenarios"]
+                if s["replicas"] == args.replicas
+            ]
+        print(B.format_fleet_report(report))
+        B.check_fleet_bars(report)
+        default_out = "BENCH_serve_fleet.json"
+    else:
+        report = B.run_serve_bench(quick=args.quick)
+        print(B.format_report(report))
+        if not args.quick:
+            B.check_bars(report)
+        default_out = "BENCH_serve.json"
+    out = Path(args.out if args.out is not None else default_out)
+    # allow_nan=False: the report convention maps non-finite floats to
+    # null, so strict JSON must round-trip (satellite bugfix guarantee)
+    out.write_text(
+        json.dumps(report, indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
     print(f"wrote {out}")
     return 0
 

@@ -65,6 +65,15 @@ class RunConfig:
         ``"clusters=4,levels=2,seed=7"``, an int cluster count, or
         ``None`` for the plain cold start).  Only consulted by the
         training entry points.
+    replicas:
+        Replicated shard-group count for the serving fleet
+        (:func:`repro.serve.serve_fleet`); only consulted by the fleet
+        entry points.
+    tenant_quota:
+        Default per-tenant admission quota for the serving fleet (a
+        :class:`~repro.serve.router.TenantQuota`, a spec string such as
+        ``"rate=500,burst=8,max_queued=16"``, or ``None`` for unlimited
+        admission).  Only consulted by the fleet entry points.
     """
 
     nprocs: int = 1
@@ -76,10 +85,14 @@ class RunConfig:
     deadlock_timeout: float = 120.0
     trace: bool = False
     dc: Any = None
+    replicas: int = 1
+    tenant_quota: Any = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
         if self.deadlock_timeout <= 0:
             raise ValueError(
                 f"deadlock_timeout must be positive, got {self.deadlock_timeout}"
@@ -126,6 +139,10 @@ class RunConfig:
             "deadlock_timeout": self.deadlock_timeout,
             "trace": self.trace,
             "dc": str(self.dc) if self.dc is not None else None,
+            "replicas": self.replicas,
+            "tenant_quota": (
+                str(self.tenant_quota) if self.tenant_quota is not None else None
+            ),
         }
 
 

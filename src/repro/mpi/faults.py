@@ -310,11 +310,15 @@ class FaultEngine:
     retrying receivers cannot deadlock against the send path.
     """
 
-    def __init__(self, plan: FaultPlan, nprocs: int, tracer=None):
+    def __init__(self, plan: FaultPlan, nprocs: int, tracer=None, on_kill=None):
         self.plan = plan
         self.policy = plan.retry
         self.nprocs = nprocs
         self._tracer = tracer
+        #: ``on_kill(rank, ordinal)`` fires when a kill fault triggers,
+        #: *before* the InjectedFault propagates — the notification hook a
+        #: serving router uses to learn which rank died and start failover
+        self._on_kill = on_kill
         self._lock = threading.Lock()
         self._states = [
             _FaultState(f, plan.seed, i) for i, f in enumerate(plan.faults)
@@ -353,6 +357,7 @@ class FaultEngine:
         if not self._rank_states:  # fast path: no rank faults scheduled
             return
         stall_for = 0.0
+        kill_ordinal = None
         with self._lock:
             self._sends[rank] += 1
             ordinal = self._sends[rank]
@@ -365,9 +370,16 @@ class FaultEngine:
                 st.fired += 1
                 if f.kind == "kill":
                     self.stats["killed"] += 1
-                    raise InjectedFault(rank, ordinal)
+                    kill_ordinal = ordinal
+                    break
                 self.stats["stalled"] += 1
                 stall_for = max(stall_for, f.seconds)
+        if kill_ordinal is not None:
+            # notify outside the lock: the listener (a serving router's
+            # failover machinery) may do arbitrary bookkeeping
+            if self._on_kill is not None:
+                self._on_kill(rank, kill_ordinal)
+            raise InjectedFault(rank, kill_ordinal)
         if stall_for > 0.0:
             time.sleep(stall_for)  # host time only; virtual clock untouched
 

@@ -99,6 +99,7 @@ class SpmdRuntime:
         faults=None,
         retry: Optional[RetryPolicy] = None,
         comm: Optional[str] = None,
+        on_kill=None,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
@@ -113,7 +114,7 @@ class SpmdRuntime:
         if plan is not None and retry is not None:
             plan = type(plan)(faults=plan.faults, seed=plan.seed, retry=retry)
         self.faults: Optional[FaultEngine] = (
-            FaultEngine(plan, nprocs, tracer=self.tracer)
+            FaultEngine(plan, nprocs, tracer=self.tracer, on_kill=on_kill)
             if plan is not None
             else None
         )
@@ -180,6 +181,7 @@ def run_spmd(
     faults=None,
     retry: Optional[RetryPolicy] = None,
     comm: Optional[str] = None,
+    on_kill=None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
@@ -190,8 +192,11 @@ def run_spmd(
     :class:`~repro.mpi.faults.FaultPlan`, a spec string (see
     :meth:`FaultPlan.parse`), or a sequence of
     :class:`~repro.mpi.faults.Fault`.  ``retry`` overrides the plan's
-    receive retry/backoff policy.  A job that completes under injection
-    is bitwise identical to the fault-free job.
+    receive retry/backoff policy.  ``on_kill(rank, ordinal)`` is invoked
+    when a ``kill`` fault fires, before the job aborts — the
+    notification hook the serving router uses to drive failover.  A job
+    that completes under injection is bitwise identical to the
+    fault-free job.
 
     Raises :class:`SpmdJobError` if any rank raised, and
     :class:`DeadlockError` if the job stopped making progress while ranks
@@ -200,7 +205,7 @@ def run_spmd(
     kwargs = kwargs or {}
     runtime = SpmdRuntime(
         nprocs, machine=machine, trace=trace, faults=faults, retry=retry,
-        comm=comm,
+        comm=comm, on_kill=on_kill,
     )
     results: List[Any] = [None] * nprocs
     failures: Dict[int, BaseException] = {}

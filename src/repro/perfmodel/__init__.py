@@ -18,10 +18,12 @@ from .calibration import (
 from .machine import MachineSpec
 from .projector import (
     DCProjection,
+    FleetProjection,
     ProjectedTime,
     parallel_efficiency,
     project,
     project_dc_outer,
+    project_fleet,
     project_series,
     speedup_vs,
 )
@@ -29,6 +31,7 @@ from .projector import (
 __all__ = [
     "BaselineTime",
     "DCProjection",
+    "FleetProjection",
     "LambdaMeasurement",
     "ProjectorValidation",
     "MachineSpec",
@@ -40,6 +43,7 @@ __all__ = [
     "parallel_efficiency",
     "project",
     "project_dc_outer",
+    "project_fleet",
     "project_series",
     "speedup_vs",
     "validate_projector",

@@ -247,3 +247,57 @@ def dc_project_time(m: MachineSpec, n: int) -> float:
     """Feasibility projection of the final dual: a clip plus a handful
     of equality-correction sweeps, each O(n)."""
     return m.time_flops(6.0 * 8.0 * n)
+
+
+# ----------------------------------------------------------------------
+# serving fleet (repro.serve.fleet)
+# ----------------------------------------------------------------------
+def fleet_reshard_time(
+    m: MachineSpec, n_sv: int, avg_nnz: float, p: int
+) -> float:
+    """Re-shard a saved model onto a p-rank shard-group.
+
+    The loader rank deserializes the registry blob (a linear pass over
+    the support-vector payload), then streams each of the other ``p-1``
+    ranks its contiguous SV block plus that block's coefficients
+    (chainermn ``scatter_dataset`` idiom: root-sequential sends), and a
+    closing barrier puts the group in service.
+    """
+    per_sv = sample_bytes(avg_nnz) + 8.0  # row payload + its sv_coef
+    t = m.time_flops(4.0 * n_sv * max(avg_nnz, 1.0))  # deserialize pass
+    if p > 1:
+        shard_bytes = math.ceil(n_sv / p) * per_sv
+        t += (p - 1) * p2p_time(m, shard_bytes)
+        t += barrier_time(m, p)
+    return t
+
+
+def fleet_slab_time(
+    m: MachineSpec,
+    slab_rows: int,
+    n_sv: int,
+    avg_nnz: float,
+    p: int,
+    *,
+    dispatch_flops: float = 1_200_000.0,
+    request_flops: float = 5_000.0,
+) -> float:
+    """One microbatched slab end-to-end on a p-rank shard-group.
+
+    Frontend dispatch overhead, binomial broadcast of the request rows,
+    the per-rank weighted kernel sub-slab (``slab_rows × ceil(n_sv/p)``
+    evaluations), the rank-ordered gather of the sub-slabs back to the
+    root, and the full-width bitwise reduction.  Mirrors the virtual
+    time the simulated fleet actually charges per slab.
+    """
+    shard = math.ceil(n_sv / p)
+    t = m.time_flops(dispatch_flops + request_flops * slab_rows)
+    if p > 1:
+        t += bcast_time(m, slab_rows * sample_bytes(avg_nnz), p)
+    t += m.time_kernel_evals(float(slab_rows) * shard, avg_nnz)
+    if p > 1:
+        # sub-slab gather: each non-root rank sends slab_rows × shard
+        # doubles to the root, root-sequential
+        t += (p - 1) * p2p_time(m, slab_rows * shard * 8.0)
+    t += m.time_flops(float(slab_rows) * n_sv)  # full-width row reduction
+    return t

@@ -329,3 +329,71 @@ def project_dc_outer(
         sync=sync_total,
         setup=setup,
     )
+
+
+@dataclass(frozen=True)
+class FleetProjection:
+    """Modeled steady-state serving fleet at one (p, replicas) point."""
+
+    p: int
+    replicas: int
+    slab_rows: int
+    #: one slab end-to-end on one shard-group (seconds)
+    slab_time: float
+    #: steady-state fleet throughput, every group pipelining slabs
+    #: back to back (requests per second)
+    throughput: float
+    #: replacement shard-group re-shard from the registry blob (seconds)
+    reshard_time: float
+    #: kill -> healthy-replacement interval: detection + re-shard
+    recovery_time: float
+    #: requests whose completion the failover delays: the drained slab
+    #: plus everything the fleet would have served during recovery
+    requests_at_risk: float
+
+    @property
+    def recovery_slabs(self) -> float:
+        """Slabs' worth of fleet capacity one failover consumes."""
+        return self.recovery_time / self.slab_time if self.slab_time else 0.0
+
+
+def project_fleet(
+    machine: MachineSpec,
+    *,
+    n_sv: int,
+    avg_nnz: float,
+    p: int,
+    replicas: int,
+    slab_rows: int = 64,
+    detect_seconds: float = 1e-3,
+) -> FleetProjection:
+    """Price a replicated serving fleet analytically.
+
+    The per-slab service time mirrors the simulated fleet's virtual-time
+    charges (:func:`repro.perfmodel.costs.fleet_slab_time`), so the
+    projection extrapolates the measured single-replica behaviour to
+    replica counts no host could thread: fleet throughput scales
+    linearly in ``replicas`` (shard-groups share nothing but the
+    router), while one failover costs ``detect_seconds`` plus the
+    re-shard of the saved model onto ``p`` ranks.
+    """
+    if p < 1 or replicas < 1 or slab_rows < 1:
+        raise ValueError(
+            f"p, replicas and slab_rows must be >= 1, got "
+            f"({p}, {replicas}, {slab_rows})"
+        )
+    slab_time = costs.fleet_slab_time(machine, slab_rows, n_sv, avg_nnz, p)
+    throughput = replicas * slab_rows / slab_time if slab_time > 0 else 0.0
+    reshard = costs.fleet_reshard_time(machine, n_sv, avg_nnz, p)
+    recovery = detect_seconds + reshard
+    at_risk = slab_rows + throughput * recovery / max(replicas, 1)
+    return FleetProjection(
+        p=p,
+        replicas=replicas,
+        slab_rows=slab_rows,
+        slab_time=slab_time,
+        throughput=throughput,
+        reshard_time=reshard,
+        recovery_time=recovery,
+        requests_at_risk=at_risk,
+    )

@@ -34,8 +34,10 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-#: per-request disposition codes in :class:`Schedule.status`
-SCORED, CACHE_HIT, REJECTED = 1, 2, 3
+#: per-request disposition codes in :class:`Schedule.status`.
+#: REJECTED = shed by the bounded queue (backpressure); THROTTLED =
+#: denied by per-tenant admission control (fleet router only)
+SCORED, CACHE_HIT, REJECTED, THROTTLED = 1, 2, 3, 4
 
 
 @dataclass(frozen=True)

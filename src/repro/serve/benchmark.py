@@ -191,3 +191,229 @@ def format_report(report: dict) -> str:
         f"hit rate {cr['hit_rate']:.2f} ({cr['hits']} hits)"
     )
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# fleet benchmark: kill-mid-traffic recovery + hot-swap-under-load
+# --------------------------------------------------------------------------
+
+FLEET_SWEEP = ((2, 2), (2, 3), (4, 2), (4, 3))  # (nprocs, replicas)
+QUICK_FLEET_SWEEP = ((2, 2),)
+FLEET_REQUESTS = 256
+QUICK_FLEET_REQUESTS = 96
+
+
+def _fleet_scenario(model, X_req, arrivals, *, nprocs, replicas, events,
+                    registry=None, cache_entries=0):
+    """One fleet run + the invariant audit every scenario must pass."""
+    from .batching import CACHE_HIT as _HIT, SCORED as _SCORED
+    from .fleet import serve_fleet
+    from .registry import ModelRegistry
+
+    source = registry if registry is not None else model
+    res = serve_fleet(
+        source, X_req, arrivals,
+        policy=BatchPolicy(max_batch=32, max_delay=200e-6),
+        config=RunConfig(nprocs=nprocs, replicas=replicas),
+        events=events, cache_entries=cache_entries,
+    )
+    n = X_req.shape[0]
+    done = (res.status == _SCORED) | (res.status == _HIT)
+    if not done.all():
+        raise AssertionError(
+            f"{int((~done).sum())} of {n} requests dropped "
+            f"(p={nprocs}, replicas={replicas})"
+        )
+    # exactly-once: every SPMD-scored request sits in exactly one
+    # successful slab; drained slabs from killed replicas never land
+    counts = np.zeros(n, dtype=np.int64)
+    for rec in res.fleet.slab_log:
+        counts[rec["ids"]] += 1
+    scored = res.status == _SCORED
+    if not np.array_equal(counts[scored], np.ones(int(scored.sum()))):
+        raise AssertionError("a request was double-scored or lost in a slab")
+    if counts[~scored].any():
+        raise AssertionError("a non-scored request appears in a slab log")
+    # bitwise: each request matches direct scoring by the model version
+    # that actually served it (cache hits included)
+    stale = 0
+    reg = res.registry
+    for version in sorted(set(res.versions[done].tolist())):
+        sel = done & (res.versions == version)
+        idx = np.where(sel)[0]
+        direct = reg.load(int(version)).decision_function(X_req.take_rows(idx))
+        if not np.array_equal(res.scores[sel], direct):
+            stale += int((res.scores[sel] != direct).sum())
+    if stale:
+        raise AssertionError(f"{stale} served scores diverge from their "
+                             f"recorded model version (stale or corrupt)")
+    return res, stale
+
+
+def run_fleet_bench(quick: bool = False) -> dict:
+    """Kill-mid-traffic recovery sweep + hot-swap-under-load scenario."""
+    from .fleet import KillReplica, SwapModel
+    from .loadgen import uniform_arrivals
+    from .registry import ModelRegistry, model_fingerprint
+    from ..perfmodel import MachineSpec, project_fleet
+
+    n_requests = QUICK_FLEET_REQUESTS if quick else FLEET_REQUESTS
+    sweep = QUICK_FLEET_SWEEP if quick else FLEET_SWEEP
+    entry = DATASETS[DATASET]
+    ds = load_dataset(DATASET, scale=None)
+    model, pool = _train_model(scale=None)
+    X_req = sample_requests(pool, n_requests, seed=7)
+    horizon = 20e-3 if quick else 50e-3
+    arrivals = uniform_arrivals(n_requests, n_requests / horizon)
+    t_kill = float(arrivals[n_requests // 3])
+
+    scenarios: List[Dict] = []
+    for nprocs, replicas in sweep:
+        res, stale = _fleet_scenario(
+            model, X_req, arrivals, nprocs=nprocs, replicas=replicas,
+            events=[KillReplica(time=t_kill, slot=replicas - 1)],
+        )
+        s = res.stats
+        scenarios.append({
+            "scenario": "kill_mid_traffic",
+            "nprocs": nprocs,
+            "replicas": replicas,
+            "n_requests": n_requests,
+            "n_slabs": s.n_slabs,
+            "n_failovers": res.fleet.n_failovers,
+            "drained_requests": sum(
+                f.drained_requests for f in res.fleet.failovers
+            ),
+            "reshard_seconds": res.fleet.reshard_seconds,
+            "throughput_modeled": s.throughput,
+            "makespan_modeled": s.makespan,
+            "latency_p50": s.latency_p50,
+            "latency_p99": s.latency_p99,
+            "slabs_per_slot": res.fleet.slabs_per_slot,
+            "bitwise_identical": True,
+            "stale_scores": stale,
+        })
+
+    # hot-swap under load: v2 activates mid-stream with the cache warm;
+    # the retired namespace is flushed, so zero stale-version scores can
+    # leak from either the scorers or the cache
+    clf2 = SVC(
+        C=entry.C * 0.5, sigma_sq=entry.sigma_sq * 2.0,
+        config=RunConfig(nprocs=2),
+    ).fit(ds.X_train, ds.y_train)
+    registry = ModelRegistry()
+    v1 = registry.publish(model, label="v1")
+    v2 = registry.publish(clf2.model_, label="v2")
+    registry.activate(v1)
+    t_swap = float(arrivals[n_requests // 2])
+    nprocs_hs, replicas_hs = sweep[0]
+    res_hs, stale_hs = _fleet_scenario(
+        model, X_req, arrivals, nprocs=nprocs_hs, replicas=replicas_hs,
+        events=[SwapModel(time=t_swap, version=v2)],
+        registry=registry, cache_entries=2 * n_requests,
+    )
+    served_versions = {
+        int(v): int((res_hs.versions == v).sum())
+        for v in sorted(set(res_hs.versions.tolist())) if v >= 0
+    }
+    hot_swap = {
+        "scenario": "hot_swap_under_load",
+        "nprocs": nprocs_hs,
+        "replicas": replicas_hs,
+        "n_requests": n_requests,
+        "n_swaps": res_hs.fleet.n_swaps,
+        "n_reshards": res_hs.fleet.n_reshards,
+        "flushed_entries": sum(
+            s["flushed_entries"] for s in res_hs.fleet.swaps
+        ),
+        "served_per_version": served_versions,
+        "cache": {k: res_hs.stats.cache.get(k)
+                  for k in ("hits", "misses", "hit_rate", "flushed")},
+        "bitwise_identical": True,
+        "stale_scores": stale_hs,
+    }
+
+    machine = MachineSpec.cascade()
+    avg_nnz = model.sv_X.avg_row_nnz or 1.0
+    projections = []
+    for p, r in sweep:
+        proj = project_fleet(
+            machine, n_sv=model.n_sv, avg_nnz=avg_nnz,
+            p=p, replicas=r, slab_rows=32,
+        )
+        projections.append({
+            "p": proj.p,
+            "replicas": proj.replicas,
+            "slab_rows": proj.slab_rows,
+            "slab_time": proj.slab_time,
+            "throughput": proj.throughput,
+            "reshard_time": proj.reshard_time,
+            "recovery_time": proj.recovery_time,
+            "requests_at_risk": proj.requests_at_risk,
+            "recovery_slabs": proj.recovery_slabs,
+        })
+
+    return {
+        "benchmark": "serve_fleet",
+        "dataset": DATASET,
+        "quick": quick,
+        "n_sv": model.n_sv,
+        "n_requests": n_requests,
+        "kill_time": t_kill,
+        "swap_time": t_swap,
+        "scenarios": scenarios,
+        "hot_swap": hot_swap,
+        "projections": projections,
+    }
+
+
+def check_fleet_bars(report: dict) -> None:
+    """Assert the fleet acceptance bars over a finished report."""
+    for sc in report["scenarios"]:
+        if sc["n_failovers"] < 1:
+            raise AssertionError(
+                f"kill scenario at p={sc['nprocs']} replicas={sc['replicas']} "
+                f"recorded no failover"
+            )
+        if not sc["bitwise_identical"] or sc["stale_scores"]:
+            raise AssertionError("kill scenario served non-exact scores")
+        if sc["drained_requests"] < 1:
+            raise AssertionError("failover drained no in-flight requests")
+    hs = report["hot_swap"]
+    if hs["n_swaps"] < 1:
+        raise AssertionError("hot-swap scenario recorded no swap")
+    if hs["stale_scores"]:
+        raise AssertionError(
+            f"hot-swap leaked {hs['stale_scores']} stale-version scores"
+        )
+    if len(hs["served_per_version"]) < 2:
+        raise AssertionError(
+            "hot-swap scenario served only one model version "
+            "(swap landed outside the traffic window)"
+        )
+
+
+def format_fleet_report(report: dict) -> str:
+    lines = [
+        f"serve fleet bench ({'quick' if report['quick'] else 'full'}): "
+        f"{report['dataset']}, n_sv={report['n_sv']}, "
+        f"{report['n_requests']} requests, kill at "
+        f"t={report['kill_time'] * 1e3:.1f}ms",
+        f"{'p':>3} {'rep':>3} {'slabs':>5} {'fails':>5} {'drain':>5} "
+        f"{'thr model (req/s)':>18} {'p99 lat':>9}",
+    ]
+    for sc in report["scenarios"]:
+        lines.append(
+            f"{sc['nprocs']:>3} {sc['replicas']:>3} {sc['n_slabs']:>5} "
+            f"{sc['n_failovers']:>5} {sc['drained_requests']:>5} "
+            f"{sc['throughput_modeled']:>18,.0f} "
+            f"{sc['latency_p99'] * 1e3:>7.2f}ms"
+        )
+    hs = report["hot_swap"]
+    lines.append(
+        f"hot swap at t={report['swap_time'] * 1e3:.1f}ms: "
+        f"{hs['n_swaps']} swap(s), {hs['n_reshards']} reshard(s), "
+        f"versions {hs['served_per_version']}, "
+        f"{hs['flushed_entries']} cache entries flushed, 0 stale"
+    )
+    return "\n".join(lines)

@@ -1,12 +1,26 @@
 """LRU result cache for the serving path.
 
-Keyed by request-row *content* (the CSR indices+values byte strings), so
-two requests carrying the same feature vector hit regardless of where
-the rows came from.  Values are the finished decision-function scores —
-a hit skips kernel evaluation, sharded reduction, and the queue
-entirely, and because every cached value was produced by the same
-bitwise-deterministic scoring pipeline, replaying from cache cannot
-change a score.
+Keyed by ``(namespace, request-row content)``.  The namespace carries
+*model identity* (a registry version tag or a content fingerprint — see
+:func:`repro.serve.registry.model_fingerprint`), the row key carries the
+exact CSR content of the request row.  Both parts matter:
+
+- the row key is **injective**: every variable-length section is
+  length-prefixed and tagged with its dtype, so no two distinct
+  ``(indices, data)`` pairs can serialize to the same byte string.  (An
+  earlier format joined ``indices.tobytes() + b"|" + data.tobytes()``;
+  the delimiter byte can occur *inside* the payload, so two different
+  rows could alias one entry and serve a wrong score — see
+  ``tests/serve/test_cache.py::test_request_key_no_delimiter_collision``.)
+- the namespace makes hot-swap safe: scores cached under one model
+  version can never satisfy a probe against another, and
+  :meth:`ResultCache.flush_namespace` drops a retired version's entries
+  wholesale at swap time.
+
+Values are the finished decision-function scores — a hit skips kernel
+evaluation, sharded reduction, and the queue entirely, and because every
+cached value was produced by the same bitwise-deterministic scoring
+pipeline, replaying from cache cannot change a score.
 
 Entry-bounded LRU on an ``OrderedDict``, same discipline as the
 fit-time :class:`~repro.kernels.cache.KernelRowCache`; capacity 0
@@ -15,66 +29,119 @@ disables caching (every probe is a miss, nothing is stored).
 
 from __future__ import annotations
 
+import struct
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from ..sparse.csr import CSRMatrix
 
+#: the default (anonymous) model namespace, for callers that manage a
+#: single model and no hot-swap
+DEFAULT_NAMESPACE = b""
+
+
+def _section(arr: np.ndarray) -> bytes:
+    """One self-delimiting key section: dtype tag + length prefix + payload."""
+    tag = arr.dtype.str.encode("ascii")
+    payload = arr.tobytes()
+    return struct.pack("<B", len(tag)) + tag + struct.pack("<Q", len(payload)) + payload
+
 
 def request_key(X: CSRMatrix, row: int) -> bytes:
-    """Content hash key for one request row (exact, not lossy)."""
+    """Injective content key for one request row.
+
+    Each section (indices, data) is dtype-tagged and length-prefixed, so
+    the encoding is prefix-free: distinct rows always produce distinct
+    keys, regardless of what bytes the payloads contain.
+    """
     lo, hi = X.indptr[row], X.indptr[row + 1]
-    return X.indices[lo:hi].tobytes() + b"|" + X.data[lo:hi].tobytes()
+    return _section(X.indices[lo:hi]) + _section(X.data[lo:hi])
 
 
 class ResultCache:
-    """Bounded LRU mapping request-row content -> decision value."""
+    """Bounded LRU mapping (namespace, request-row content) -> decision value.
+
+    ``namespace`` identifies the model that produced (or would produce)
+    the score; probes and inserts under different namespaces never
+    interact.  The LRU order and the capacity bound are global across
+    namespaces — a hot new version naturally evicts a cold old one.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._store: "OrderedDict[bytes, float]" = OrderedDict()
+        self._store: "OrderedDict[Tuple[bytes, bytes], float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.flushed = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
-    def get(self, key: bytes) -> Optional[float]:
+    def get(
+        self, key: bytes, namespace: bytes = DEFAULT_NAMESPACE
+    ) -> Optional[float]:
         """Probe; counts a hit or miss and refreshes recency on hit."""
         if self.capacity == 0:
             self.misses += 1
             return None
-        value = self._store.get(key)
+        full = (namespace, key)
+        value = self._store.get(full)
         if value is None:
             self.misses += 1
             return None
-        self._store.move_to_end(key)
+        self._store.move_to_end(full)
         self.hits += 1
         return value
 
-    def put(self, key: bytes, value: float) -> None:
+    def put(
+        self, key: bytes, value: float, namespace: bytes = DEFAULT_NAMESPACE
+    ) -> None:
         """Insert a finished score, evicting the LRU entry if full."""
         if self.capacity == 0:
             return
-        if key in self._store:
-            self._store.move_to_end(key)
-            self._store[key] = value
+        full = (namespace, key)
+        if full in self._store:
+            self._store.move_to_end(full)
+            self._store[full] = value
             return
         if len(self._store) >= self.capacity:
             self._store.popitem(last=False)
             self.evictions += 1
-        self._store[key] = value
+        self._store[full] = value
+
+    def flush_namespace(self, namespace: bytes) -> int:
+        """Drop every entry cached under ``namespace`` (hot-swap retire).
+
+        Returns the number of entries removed.  Hit/miss counters are
+        untouched — a flush is a capacity event, not a probe.
+        """
+        stale = [k for k in self._store if k[0] == namespace]
+        for k in stale:
+            del self._store[k]
+        self.flushed += len(stale)
+        return len(stale)
+
+    def namespaces(self) -> Dict[bytes, int]:
+        """Live entry count per namespace (diagnostics)."""
+        out: Dict[bytes, int] = {}
+        for ns, _ in self._store:
+            out[ns] = out.get(ns, 0) + 1
+        return out
 
     def stats(self) -> Dict[str, float]:
         probes = self.hits + self.misses
         return {
             "capacity": self.capacity,
             "entries": len(self._store),
+            "namespaces": len(self.namespaces()),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "flushed": self.flushed,
             "hit_rate": self.hits / probes if probes else 0.0,
         }

@@ -1,0 +1,121 @@
+"""Versioned model registry: the fleet's source of truth.
+
+Every published model is immediately round-tripped through the exact
+persistence-v2 JSON format (:func:`repro.core.model.model_to_jsonable`)
+and stored as the *serialized* blob.  Two consequences:
+
+- what a replacement shard-group re-shards from after a failover is
+  bit-for-bit what ``save_model``/``load_model`` would restore — the
+  registry cannot drift from the on-disk format;
+- every version has a stable content *fingerprint* (a digest of the
+  canonical blob) that namespaces the result cache, so a hot-swap can
+  never serve a stale score out of cache (see
+  :mod:`repro.serve.cache`).
+
+Activation (:meth:`ModelRegistry.activate`) is an atomic pointer flip
+under a lock: a router reading :attr:`active_version` mid-swap sees
+either the old version or the new one, never a torn state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Dict, List, Optional
+
+from ..core.model import SVMModel, model_from_jsonable, model_to_jsonable
+
+
+def model_fingerprint(model: SVMModel) -> bytes:
+    """Content digest of a model's exact v2 serialized form.
+
+    Equal models (bitwise-equal SVs, coefficients, beta, kernel
+    hyperparameters) fingerprint equal; any bit of difference changes
+    the digest.  Used as the cache namespace for callers serving a bare
+    model without a registry.
+    """
+    blob = json.dumps(model_to_jsonable(model), sort_keys=True)
+    return hashlib.sha256(blob.encode("ascii")).digest()
+
+
+class ModelRegistry:
+    """Thread-safe store of versioned models with one *active* version."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._blobs: Dict[int, str] = {}
+        self._labels: Dict[int, Optional[str]] = {}
+        self._fingerprints: Dict[int, bytes] = {}
+        self._active: Optional[int] = None
+        self._next = 1
+
+    def publish(self, model: SVMModel, *, label: Optional[str] = None) -> int:
+        """Store a model; returns its new version number.
+
+        The first published version auto-activates (a fleet must always
+        have a servable model); later versions wait for an explicit
+        :meth:`activate` — publish-then-activate is the hot-swap.
+        """
+        blob = json.dumps(model_to_jsonable(model), sort_keys=True)
+        with self._lock:
+            version = self._next
+            self._next += 1
+            self._blobs[version] = blob
+            self._labels[version] = label
+            self._fingerprints[version] = hashlib.sha256(
+                blob.encode("ascii")
+            ).digest()
+            if self._active is None:
+                self._active = version
+        return version
+
+    def load(self, version: int) -> SVMModel:
+        """Materialize a fresh model object from the saved blob.
+
+        Every call deserializes anew — exactly the path a replacement
+        shard-group takes when it re-shards after a failover.
+        """
+        with self._lock:
+            blob = self._blobs.get(version)
+        if blob is None:
+            raise KeyError(f"no model version {version} in registry")
+        return model_from_jsonable(json.loads(blob))
+
+    def activate(self, version: int) -> int:
+        """Atomically make ``version`` the active one; returns the
+        previously active version."""
+        with self._lock:
+            if version not in self._blobs:
+                raise KeyError(f"cannot activate unknown version {version}")
+            previous, self._active = self._active, version
+        return previous
+
+    @property
+    def active_version(self) -> Optional[int]:
+        with self._lock:
+            return self._active
+
+    def fingerprint(self, version: int) -> bytes:
+        """The version's content digest (the cache namespace)."""
+        with self._lock:
+            fp = self._fingerprints.get(version)
+        if fp is None:
+            raise KeyError(f"no model version {version} in registry")
+        return fp
+
+    def versions(self) -> List[int]:
+        with self._lock:
+            return sorted(self._blobs)
+
+    def label(self, version: int) -> Optional[str]:
+        with self._lock:
+            return self._labels.get(version)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blobs)
+
+    def __contains__(self, version: object) -> bool:
+        with self._lock:
+            return version in self._blobs

@@ -49,6 +49,7 @@ from ..sparse.partition import BlockPartition
 from ..core.model import SVMModel, _as_csr
 from .batching import BatchPolicy, Schedule, run_schedule
 from .cache import ResultCache, request_key
+from .registry import model_fingerprint
 from .stats import ServeStats, build_stats
 
 #: modeled frontend cost per *dispatch* (flops): request framing, batch
@@ -89,6 +90,7 @@ def serve_requests(
     machine: Optional[MachineSpec] = None,
     faults=None,
     cache_entries: int = 0,
+    cache: Optional[ResultCache] = None,
     reduction: str = "slab",
 ) -> ServeResult:
     """Serve one stream of single-row score requests against ``model``.
@@ -96,10 +98,14 @@ def serve_requests(
     ``X`` holds one request row per arrival; ``arrivals`` is the
     nondecreasing simulated arrival time of each row (default: a burst
     at t=0).  ``policy`` sets the microbatching knobs, ``cache_entries``
-    the result-cache capacity (0 = no cache).  Run-time knobs
-    (``nprocs``, ``machine``, ``faults``…) ride in one
-    :class:`~repro.config.RunConfig` via ``config=``, with the keywords
-    as overriding shims, exactly like the fit/predict entry points.
+    the result-cache capacity (0 = no cache); pass ``cache=`` to share a
+    :class:`~repro.serve.cache.ResultCache` across sessions — entries
+    are namespaced by the model's persistence-v2 fingerprint, so a
+    session serving a different model can never hit another model's
+    cached scores.  Run-time knobs (``nprocs``, ``machine``,
+    ``faults``…) ride in one :class:`~repro.config.RunConfig` via
+    ``config=``, with the keywords as overriding shims, exactly like the
+    fit/predict entry points.
     """
     cfg = resolve_config(config, nprocs=nprocs, machine=machine, faults=faults)
     policy = policy or BatchPolicy()
@@ -127,7 +133,10 @@ def serve_requests(
     norms = X.row_norms_sq()
     part = BlockPartition(model.n_sv, cfg.nprocs)
     avg_nnz = model.sv_X.avg_row_nnz or 1.0
-    cache = ResultCache(cache_entries)
+    cache = cache if cache is not None else ResultCache(cache_entries)
+    # cache entries are keyed under the model's exact-round-trip
+    # fingerprint: a shared cache can never serve another model's scores
+    namespace = model_fingerprint(model)
     scores = np.full(n, np.nan)
     schedule_box = {}
 
@@ -144,7 +153,7 @@ def serve_requests(
 
     def frontend(comm) -> None:
         def admit(i: int, t: float) -> bool:
-            value = cache.get(request_key(X, i))
+            value = cache.get(request_key(X, i), namespace)
             if value is None:
                 return False
             scores[i] = value
@@ -174,7 +183,7 @@ def serve_requests(
                 values = comm.reduce(partial, root=0) - model.beta
             scores[ids] = values
             for i, v in zip(ids, values):
-                cache.put(request_key(X, int(i)), float(v))
+                cache.put(request_key(X, int(i)), float(v), namespace)
             return comm.vtime
 
         schedule_box["schedule"] = run_schedule(

@@ -4,16 +4,38 @@ Latencies and throughput come in two flavours, matching the rest of the
 repo: *modeled* (the per-rank virtual clocks — what the cascade testbed
 would measure) and *host* (wall seconds actually burned in-process).
 Modeled numbers are deterministic; host numbers are informational.
+
+JSON convention
+---------------
+``to_dict()`` output must be **strict** JSON data (``BENCH_serve*.json``
+is consumed by compliant parsers that reject ``Infinity``/``NaN``
+literals).  The documented convention, applied by
+:func:`jsonable_float`:
+
+- a session with **zero completed requests** reports ``throughput``
+  ``0.0`` and ``makespan`` ``0.0`` — there is no rate to measure, and
+  zero work per second is the honest summary;
+- any remaining non-finite float (``NaN`` latency percentiles when
+  nothing completed, ``inf`` throughput when every completion landed at
+  the first arrival instant so the makespan is 0) serializes as
+  ``null`` — "undefined", never an out-of-band literal.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from .batching import CACHE_HIT, REJECTED, SCORED, Schedule
+from .batching import CACHE_HIT, REJECTED, SCORED, THROTTLED, Schedule
+
+
+def jsonable_float(value: float) -> Optional[float]:
+    """Strict-JSON projection of one float: non-finite -> ``None``."""
+    v = float(value)
+    return v if math.isfinite(v) else None
 
 
 @dataclass
@@ -28,7 +50,8 @@ class ServeStats:
     mean_slab_size: float
     peak_queue_depth: int
 
-    # simulated-clock latency over completed (scored + hit) requests
+    # simulated-clock latency over completed (scored + hit) requests;
+    # NaN in-process when nothing completed, null once serialized
     latency_p50: float
     latency_p90: float
     latency_p99: float
@@ -36,11 +59,15 @@ class ServeStats:
     latency_mean: float
 
     #: completed requests per simulated second (makespan = last
-    #: completion − first arrival)
+    #: completion − first arrival); 0.0 when nothing completed, inf
+    #: in-process (null serialized) when the makespan is exactly 0
     throughput: float
     makespan: float
 
     cache: Dict[str, float] = field(default_factory=dict)
+
+    #: requests denied by per-tenant admission control (fleet router)
+    n_throttled: int = 0
 
     # communication + host-side costs of the SPMD session
     nprocs: int = 1
@@ -49,26 +76,28 @@ class ServeStats:
     wall_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
+        """Strict-JSON-safe plain data (see the module's JSON convention)."""
         return {
             "n_requests": self.n_requests,
             "n_scored": self.n_scored,
             "n_cache_hits": self.n_cache_hits,
             "n_rejected": self.n_rejected,
+            "n_throttled": self.n_throttled,
             "n_slabs": self.n_slabs,
-            "mean_slab_size": self.mean_slab_size,
+            "mean_slab_size": jsonable_float(self.mean_slab_size),
             "peak_queue_depth": self.peak_queue_depth,
-            "latency_p50": self.latency_p50,
-            "latency_p90": self.latency_p90,
-            "latency_p99": self.latency_p99,
-            "latency_max": self.latency_max,
-            "latency_mean": self.latency_mean,
-            "throughput": self.throughput,
-            "makespan": self.makespan,
-            "cache": dict(self.cache),
+            "latency_p50": jsonable_float(self.latency_p50),
+            "latency_p90": jsonable_float(self.latency_p90),
+            "latency_p99": jsonable_float(self.latency_p99),
+            "latency_max": jsonable_float(self.latency_max),
+            "latency_mean": jsonable_float(self.latency_mean),
+            "throughput": jsonable_float(self.throughput),
+            "makespan": jsonable_float(self.makespan),
+            "cache": {k: jsonable_float(v) for k, v in self.cache.items()},
             "nprocs": self.nprocs,
             "total_bytes_sent": self.total_bytes_sent,
             "total_messages": self.total_messages,
-            "wall_seconds": self.wall_seconds,
+            "wall_seconds": jsonable_float(self.wall_seconds),
         }
 
 
@@ -98,9 +127,12 @@ def build_stats(
         makespan = float(
             schedule.completion[done].max() - arrivals[done].min()
         )
+        # inf (every completion at the first arrival instant) survives
+        # in-process and serializes as null; 0 completions report 0.0
+        throughput = n_done / makespan if makespan > 0 else float("inf")
     else:
         makespan = 0.0
-    throughput = n_done / makespan if makespan > 0 else float("inf")
+        throughput = 0.0
 
     sizes: List[int] = [s.size for s in schedule.slabs]
     return ServeStats(
@@ -108,6 +140,7 @@ def build_stats(
         n_scored=int((status == SCORED).sum()),
         n_cache_hits=int((status == CACHE_HIT).sum()),
         n_rejected=int((status == REJECTED).sum()),
+        n_throttled=int((status == THROTTLED).sum()),
         n_slabs=len(sizes),
         mean_slab_size=float(np.mean(sizes)) if sizes else 0.0,
         peak_queue_depth=schedule.peak_queue_depth,

@@ -1,0 +1,267 @@
+"""Fleet invariants: failover exactness, hot-swap freshness, admission.
+
+The load-bearing guarantee: **every request the fleet scores is bitwise
+equal to ``decision_function`` of the model version that served it**,
+no request is dropped, and none is scored twice — through replica
+kills, drains, re-shards from the registry, and atomic hot-swaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import RunConfig
+from repro.serve import (
+    CACHE_HIT,
+    SCORED,
+    THROTTLED,
+    BatchPolicy,
+    KillReplica,
+    ModelRegistry,
+    ResultCache,
+    SwapModel,
+    TenantQuota,
+    serve_fleet,
+)
+
+POLICY = BatchPolicy(max_batch=8, max_delay=200e-6)
+
+
+@pytest.fixture(scope="module")
+def fleet_requests(served_model):
+    from repro.serve import sample_requests
+
+    _, pool = served_model
+    X_req = sample_requests(pool, 48, seed=5)
+    arrivals = np.arange(48) * 250e-6  # steady traffic over ~12ms
+    return X_req, arrivals
+
+
+def _audit_exactness(res, X_req):
+    """Completion + exactly-once + bitwise-per-version, for any run.
+
+    Every request reaches a terminal disposition (throttle/reject are
+    terminal — "dropped" means left pending with status 0)."""
+    assert (res.status != 0).all(), "a request was dropped"
+    done = (res.status == SCORED) | (res.status == CACHE_HIT)
+    counts = np.zeros(X_req.shape[0], dtype=np.int64)
+    for rec in res.fleet.slab_log:
+        counts[rec["ids"]] += 1
+    scored = res.status == SCORED
+    assert np.array_equal(counts[scored], np.ones(int(scored.sum()))), (
+        "a request was double-scored or lost in a slab"
+    )
+    assert not counts[~scored].any()
+    for version in sorted(set(res.versions[done].tolist())):
+        sel = done & (res.versions == version)
+        idx = np.where(sel)[0]
+        direct = res.registry.load(int(version)).decision_function(
+            X_req.take_rows(idx)
+        )
+        assert np.array_equal(res.scores[sel], direct), (
+            f"scores diverge from the version {version} that served them"
+        )
+
+
+@pytest.mark.parametrize("nprocs", [2, 4])
+@pytest.mark.parametrize("replicas", [2, 3])
+def test_kill_mid_traffic_failover(served_model, fleet_requests,
+                                   nprocs, replicas):
+    model, _ = served_model
+    X_req, arrivals = fleet_requests
+    t_kill = float(arrivals[len(arrivals) // 3])
+    res = serve_fleet(
+        model, X_req, arrivals, policy=POLICY,
+        config=RunConfig(nprocs=nprocs, replicas=replicas),
+        events=[KillReplica(time=t_kill, slot=replicas - 1)],
+    )
+    _audit_exactness(res, X_req)
+    assert res.fleet.n_failovers == 1
+    failover = res.fleet.failovers[0]
+    assert failover.slot_id == replicas - 1
+    assert failover.generation == 2  # the replacement replica
+    assert failover.drained_requests >= 1
+    assert failover.reshard_seconds > 0
+    # the drained slab really was re-served by a healthy replica
+    assert np.all(res.status == SCORED)
+    # the failed attempt is not in the stats' slab accounting
+    assert res.stats.n_slabs == len(res.fleet.slab_log)
+
+
+def test_kill_every_rank_position(served_model, fleet_requests):
+    """The kill may land on any rank of the group, frontend included."""
+    model, _ = served_model
+    X_req, arrivals = fleet_requests
+    for rank in (0, 1, 2):
+        res = serve_fleet(
+            model, X_req, arrivals, policy=POLICY,
+            config=RunConfig(nprocs=3, replicas=2),
+            events=[KillReplica(time=float(arrivals[10]), slot=0, rank=rank)],
+        )
+        _audit_exactness(res, X_req)
+        assert res.fleet.n_failovers == 1
+        assert res.fleet.failovers[0].killed_rank == rank
+
+
+def test_hot_swap_serves_zero_stale(served_model, fleet_requests):
+    """Mid-stream activation: scorers AND cache switch versions; no
+    request is served a retired version's score after its swap."""
+    from repro.core import SVC
+    from tests.conftest import make_blobs
+
+    model, _ = served_model
+    X, y = make_blobs(n=120, sep=1.2, noise=1.3, seed=3)
+    model2 = SVC(C=1.0, sigma_sq=8.0).fit(X, y).model_
+    X_req, arrivals = fleet_requests
+
+    registry = ModelRegistry()
+    v1 = registry.publish(model, label="v1")
+    v2 = registry.publish(model2, label="v2")
+    registry.activate(v1)
+    t_swap = float(arrivals[len(arrivals) // 2])
+    res = serve_fleet(
+        registry, X_req, arrivals, policy=POLICY,
+        config=RunConfig(nprocs=2, replicas=2),
+        cache_entries=256,
+        events=[SwapModel(time=t_swap, version=v2)],
+    )
+    _audit_exactness(res, X_req)
+    assert res.fleet.n_swaps == 1
+    assert set(res.versions.tolist()) == {v1, v2}
+    done = (res.status == SCORED) | (res.status == CACHE_HIT)
+    # no v1 score completes after the swap has taken effect on dispatch:
+    # a request admitted pre-swap may complete under v1, but everything
+    # ADMITTED at or after the swap is served by v2
+    admitted_after = arrivals >= t_swap
+    assert np.all(res.versions[done & admitted_after] == v2)
+    # the registry's active pointer ends on v2 and the v1 cache
+    # namespace was flushed at the swap
+    assert registry.active_version == v2
+    assert res.fleet.swaps[0]["from_version"] == v1
+    assert res.fleet.swaps[0]["flushed_entries"] >= 0
+
+
+def test_hot_swap_cache_cannot_replay_old_version(served_model):
+    """Duplicate rows straddling the swap: the pre-swap cached score for
+    identical content must NOT be replayed post-swap."""
+    from repro.core import SVC
+    from tests.conftest import make_blobs
+    from repro.serve import sample_requests
+    from repro.sparse import CSRMatrix
+
+    model, pool = served_model
+    X, y = make_blobs(n=120, sep=1.2, noise=1.3, seed=3)
+    model2 = SVC(C=1.0, sigma_sq=8.0).fit(X, y).model_
+
+    wave = sample_requests(pool, 16, seed=9)
+    X_req = CSRMatrix.vstack([wave, wave])  # identical content twice
+    arrivals = np.concatenate([np.arange(16) * 100e-6,
+                               5.0 + np.arange(16) * 100e-6])
+    registry = ModelRegistry()
+    v1 = registry.publish(model)
+    v2 = registry.publish(model2)
+    registry.activate(v1)
+    res = serve_fleet(
+        registry, X_req, arrivals, policy=POLICY,
+        config=RunConfig(nprocs=2, replicas=2),
+        cache_entries=256,
+        events=[SwapModel(time=2.0, version=v2)],
+    )
+    _audit_exactness(res, X_req)
+    # wave 2 re-sends wave 1's rows AFTER the swap: none may hit wave
+    # 1's v1-namespace entries (flushed/segregated) — every wave-2 value
+    # is v2's, bitwise.  (Hits between duplicate rows WITHIN wave 2 are
+    # fine: they replay a v2 score.)
+    assert np.all(res.versions[16:] == v2)
+    assert np.array_equal(
+        res.scores[16:], model2.decision_function(wave)
+    )
+    hits2 = res.status[16:] == CACHE_HIT
+    assert int(hits2.sum()) < 16  # pre-fix: all 16 replayed stale v1 scores
+
+
+def test_tenant_throttling_isolates_noisy_neighbor(served_model,
+                                                   fleet_requests):
+    model, _ = served_model
+    X_req, arrivals = fleet_requests
+    tenants = np.where(np.arange(48) % 2 == 0, 0, 1)
+    res = serve_fleet(
+        model, X_req, arrivals, policy=POLICY,
+        config=RunConfig(nprocs=2, replicas=2),
+        tenants=tenants,
+        per_tenant_quotas={1: TenantQuota(rate=400.0, burst=2.0)},
+    )
+    # tenant 0 is untouched; tenant 1 exceeds 400 req/s and sheds load
+    throttled = res.status == THROTTLED
+    assert throttled.any()
+    assert np.all(tenants[throttled] == 1)
+    assert res.stats.n_throttled == int(throttled.sum())
+    report = res.fleet.per_tenant
+    assert report[0]["throttled"] == 0
+    assert report[1]["throttled"] == int(throttled.sum())
+    # everything admitted still completes bitwise-exactly
+    _audit_exactness(res, X_req)
+    done = (res.status == SCORED) | (res.status == CACHE_HIT)
+    assert np.array_equal(done, ~throttled)
+
+
+def test_tenant_quota_spec_string_via_config(served_model, fleet_requests):
+    model, _ = served_model
+    X_req, arrivals = fleet_requests
+    res = serve_fleet(
+        model, X_req, arrivals, policy=POLICY,
+        config=RunConfig(
+            nprocs=2, replicas=2, tenant_quota="rate=400,burst=2",
+        ),
+    )
+    assert (res.status == THROTTLED).any()
+    _audit_exactness(res, X_req)
+
+
+def test_single_replica_matches_direct(served_model, fleet_requests):
+    """replicas=1, no events: the fleet is just a sharded scorer."""
+    model, _ = served_model
+    X_req, arrivals = fleet_requests
+    res = serve_fleet(
+        model, X_req, arrivals, policy=POLICY, config=RunConfig(nprocs=2),
+    )
+    assert np.all(res.status == SCORED)
+    assert np.array_equal(res.scores, model.decision_function(X_req))
+    assert res.fleet.n_failovers == 0 and res.fleet.n_swaps == 0
+
+
+def test_external_cache_and_stats_strict_json(served_model, fleet_requests):
+    model, _ = served_model
+    X_req, arrivals = fleet_requests
+    shared = ResultCache(128)
+    res = serve_fleet(
+        model, X_req, arrivals, policy=POLICY,
+        config=RunConfig(nprocs=2, replicas=2), cache=shared,
+        events=[KillReplica(time=float(arrivals[5]), slot=0)],
+    )
+    _audit_exactness(res, X_req)
+    assert len(shared) > 0
+    import json
+
+    def no_constants(name):
+        raise AssertionError(f"non-strict JSON literal leaked: {name}")
+
+    payload = {"stats": res.stats.to_dict(), "fleet": res.fleet.to_dict()}
+    json.loads(json.dumps(payload, allow_nan=False),
+               parse_constant=no_constants)
+
+
+def test_event_validation(served_model, fleet_requests):
+    model, _ = served_model
+    X_req, arrivals = fleet_requests
+    with pytest.raises(ValueError, match="slot"):
+        serve_fleet(model, X_req, arrivals,
+                    config=RunConfig(nprocs=2, replicas=2),
+                    events=[KillReplica(time=0.0, slot=5)])
+    with pytest.raises(ValueError, match="version"):
+        serve_fleet(model, X_req, arrivals,
+                    config=RunConfig(nprocs=2, replicas=2),
+                    events=[SwapModel(time=0.0, version=7)])
+    with pytest.raises(ValueError, match="replicas"):
+        RunConfig(replicas=0)

@@ -1,0 +1,111 @@
+"""Serving stats: the strict-JSON convention for non-finite values.
+
+``BENCH_serve*.json`` must parse under compliant JSON readers, so
+``to_dict()`` may never leak ``Infinity``/``NaN`` literals (the
+satellite bugfix: zero-completion sessions used to emit
+``"throughput": Infinity`` and NaN percentiles straight through
+``json.dump``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    REJECTED,
+    SCORED,
+    Schedule,
+    SlabRecord,
+    build_stats,
+    jsonable_float,
+)
+
+
+def _raise_on_constant(name):
+    raise AssertionError(f"non-strict JSON literal leaked: {name}")
+
+
+def strict_roundtrip(payload: dict) -> dict:
+    """json round-trip that rejects Infinity/NaN on BOTH directions."""
+    text = json.dumps(payload, allow_nan=False)
+    return json.loads(text, parse_constant=_raise_on_constant)
+
+
+def test_jsonable_float():
+    assert jsonable_float(1.5) == 1.5
+    assert jsonable_float(0.0) == 0.0
+    assert jsonable_float(float("inf")) is None
+    assert jsonable_float(float("-inf")) is None
+    assert jsonable_float(float("nan")) is None
+
+
+def test_zero_completions_report_zero_not_infinity():
+    """All-rejected session: throughput/makespan 0.0, percentiles null."""
+    n = 4
+    sched = Schedule(
+        status=np.full(n, REJECTED, dtype=np.int64),
+        completion=np.full(n, np.nan),
+    )
+    stats = build_stats(sched, np.zeros(n), {})
+    assert stats.throughput == 0.0
+    assert stats.makespan == 0.0
+    assert math.isnan(stats.latency_p50)  # in-process NaN is fine
+
+    d = strict_roundtrip(stats.to_dict())
+    assert d["throughput"] == 0.0
+    assert d["makespan"] == 0.0
+    assert d["latency_p50"] is None
+    assert d["latency_p99"] is None
+    assert d["latency_mean"] is None
+
+
+def test_zero_makespan_serializes_null_not_infinity():
+    """Completions all at the first arrival instant: modeled throughput
+    is infinite in-process but must serialize as null."""
+    n = 3
+    sched = Schedule(
+        status=np.full(n, SCORED, dtype=np.int64),
+        completion=np.zeros(n),
+        slabs=[SlabRecord(0.0, 0.0, n)],
+    )
+    stats = build_stats(sched, np.zeros(n), {})
+    assert math.isinf(stats.throughput)
+
+    d = strict_roundtrip(stats.to_dict())
+    assert d["throughput"] is None
+    assert d["makespan"] == 0.0
+    assert d["n_scored"] == n
+
+
+def test_nonfinite_cache_values_sanitized():
+    sched = Schedule(
+        status=np.array([SCORED], dtype=np.int64),
+        completion=np.array([1.0]),
+        slabs=[SlabRecord(0.5, 1.0, 1)],
+    )
+    stats = build_stats(
+        sched, np.zeros(1), {"hits": 0, "hit_rate": float("nan")}
+    )
+    d = strict_roundtrip(stats.to_dict())
+    assert d["cache"]["hit_rate"] is None
+    assert d["cache"]["hits"] == 0
+    assert d["throughput"] == pytest.approx(1.0)
+
+
+def test_serve_stats_to_dict_always_strict(served_model, requests_60):
+    """End-to-end: a real session's report survives strict round-trip."""
+    from repro.config import RunConfig
+    from repro.serve import BatchPolicy, serve_requests
+
+    res = serve_requests(
+        served_model[0], requests_60, None,
+        policy=BatchPolicy(max_batch=16), config=RunConfig(nprocs=2),
+        cache_entries=32,
+    )
+    d = strict_roundtrip(res.stats.to_dict())
+    assert d["n_requests"] == 60
+    assert d["n_throttled"] == 0
