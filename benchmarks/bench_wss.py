@@ -1,0 +1,193 @@
+"""Benchmark: working-set-selection policies x kernel-column cache.
+
+End-to-end distributed solves of two registry miniatures, swept over
+the WSS policy registry (``mvp`` / ``second_order`` / ``planning_ahead``,
+see :mod:`repro.core.wss_policies`) and a range of per-rank
+kernel-column cache budgets.  The sweep demonstrates the point of the
+second-order election: fewer, better iterations, and hence fewer kernel
+evaluations, at the price of one extra typed MAXLOC allreduce per
+iteration.
+
+Two invariants are asserted on every run:
+
+- ``mvp`` with a cache budget is bitwise-identical (alpha, beta,
+  iteration count) to ``mvp`` without one — the cache only changes who
+  computes a column, never which column is asked for;
+- ``second_order`` reduces total kernel evaluations by >= 1.3x against
+  ``mvp`` on at least one miniature (the acceptance bar; w7a clears it
+  with room to spare).
+
+Results land in ``BENCH_wss.json`` at the repo root.  Run either way::
+
+    python benchmarks/bench_wss.py [--quick]
+    pytest benchmarks/bench_wss.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import SVMParams, fit_parallel
+from repro.data import DATASETS, load_dataset
+from repro.kernels import RBFKernel
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_wss.json"
+
+MINIATURES = [("mushrooms", 0.02), ("w7a", 0.006)]
+POLICIES = ["mvp", "second_order", "planning_ahead"]
+BUDGETS_MB = [0.0, 0.0625, 4.0]
+QUICK_BUDGETS_MB = [0.0, 4.0]
+HEURISTIC = "multi5pc"
+NPROCS = 2
+EVAL_REDUCTION_BAR = 1.3
+
+
+def _problem(name: str, scale: float):
+    ds = load_dataset(name, scale=scale)
+    entry = DATASETS[name]
+    classes = np.unique(ds.y_train)
+    y = np.where(ds.y_train == classes[1], 1.0, -1.0)
+    params = SVMParams(
+        C=entry.C,
+        kernel=RBFKernel.from_sigma_sq(entry.sigma_sq),
+        eps=1e-3,
+        max_iter=500_000,
+    )
+    return ds.X_train, y, params
+
+
+def _run(X, y, params, wss: str, cache_mb: float):
+    t0 = time.perf_counter()
+    fr = fit_parallel(
+        X,
+        y,
+        params,
+        heuristic=HEURISTIC,
+        nprocs=NPROCS,
+        wss=wss,
+        kernel_cache_mb=cache_mb,
+    )
+    wall = time.perf_counter() - t0
+    tr = fr.stats.trace
+    row = {
+        "wss": wss,
+        "cache_mb": cache_mb,
+        "iterations": fr.iterations,
+        "kernel_evals": fr.stats.kernel_evals,
+        "wall_seconds": wall,
+        "vtime_seconds": fr.vtime,
+        "beta": fr.model.beta,
+        "wss_elections": tr.wss_elections,
+        "wss_reuses": tr.wss_reuses,
+        "cache_hits": tr.cache_hits,
+        "cache_misses": tr.cache_misses,
+        "cache_hit_rate": tr.cache_hit_rate,
+    }
+    return fr, row
+
+
+def run_bench(quick: bool = False) -> dict:
+    budgets = QUICK_BUDGETS_MB if quick else BUDGETS_MB
+    datasets = []
+    bar_cleared_on = []
+    for name, scale in MINIATURES:
+        X, y, params = _problem(name, scale)
+        rows = []
+        baseline = {}
+        for wss in POLICIES:
+            for cache_mb in budgets:
+                fr, row = _run(X, y, params, wss, cache_mb)
+                rows.append(row)
+                if cache_mb == 0.0:
+                    baseline[wss] = fr
+                elif wss == "mvp":
+                    # the cache must never change the trajectory
+                    ref = baseline["mvp"]
+                    if not np.array_equal(fr.alpha, ref.alpha):
+                        raise AssertionError(
+                            f"{name}: mvp cache={cache_mb}MB changed alpha"
+                        )
+                    if fr.model.beta != ref.model.beta:
+                        raise AssertionError(
+                            f"{name}: mvp cache={cache_mb}MB changed beta"
+                        )
+                    if fr.iterations != ref.iterations:
+                        raise AssertionError(
+                            f"{name}: mvp cache={cache_mb}MB changed "
+                            "iteration count"
+                        )
+        mvp_evals = baseline["mvp"].stats.kernel_evals
+        so_evals = baseline["second_order"].stats.kernel_evals
+        reduction = mvp_evals / so_evals if so_evals else float("inf")
+        if reduction >= EVAL_REDUCTION_BAR:
+            bar_cleared_on.append(name)
+        datasets.append(
+            {
+                "dataset": name,
+                "scale": scale,
+                "n": int(X.shape[0]),
+                "d": int(X.shape[1]),
+                "eval_reduction_second_order": reduction,
+                "runs": rows,
+            }
+        )
+    report = {
+        "nprocs": NPROCS,
+        "heuristic": HEURISTIC,
+        "policies": POLICIES,
+        "cache_budgets_mb": budgets,
+        "eval_reduction_bar": EVAL_REDUCTION_BAR,
+        "bar_cleared_on": bar_cleared_on,
+        "datasets": datasets,
+    }
+    if not bar_cleared_on:
+        raise AssertionError(
+            f"second_order cleared the {EVAL_REDUCTION_BAR}x kernel-eval "
+            "reduction bar on no miniature: "
+            + ", ".join(
+                f"{d['dataset']}={d['eval_reduction_second_order']:.2f}x"
+                for d in datasets
+            )
+        )
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return report
+
+
+def test_wss_policy_sweep(results_dir):
+    report = run_bench()
+    assert report["bar_cleared_on"]  # >= 1 miniature clears the bar
+    for d in report["datasets"]:
+        by = {(r["wss"], r["cache_mb"]): r for r in d["runs"]}
+        # second-order elections were actually exercised
+        assert by[("second_order", 0.0)]["wss_elections"] > 0
+        # the column cache saw traffic under a real budget
+        assert by[("second_order", 4.0)]["cache_hits"] > 0
+    (results_dir / "wss.txt").write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    report = run_bench(quick=quick)
+    print(json.dumps(report, indent=2))
+    for d in report["datasets"]:
+        print(
+            f"\n{d['dataset']} (n={d['n']}): second_order uses "
+            f"{d['eval_reduction_second_order']:.2f}x fewer kernel evals "
+            f"than mvp"
+        )
+    print(f"bar (>= {report['eval_reduction_bar']}x) cleared on: "
+          f"{', '.join(report['bar_cleared_on'])}")
+    print(f"wrote {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -82,6 +82,15 @@ def _add_train(sub) -> None:
     p.add_argument("--comm", default=None, choices=("flat", "hierarchical"),
                    help="collective suite (default: flat, or the "
                         "REPRO_SVM_COMM environment variable)")
+    p.add_argument("--wss", default=None,
+                   choices=("mvp", "second_order", "planning_ahead"),
+                   help="working-set selection policy (default: mvp, or "
+                        "the REPRO_SVM_WSS environment variable)")
+    p.add_argument("--kernel-cache-mb", type=float, default=None,
+                   metavar="MB",
+                   help="per-rank kernel-column cache budget in MiB "
+                        "(default: 0 = off; second_order enables a "
+                        "minimal provider cache regardless)")
     p.add_argument("--dc", default=None, metavar="SPEC",
                    help="divide-and-conquer outer loop: cluster count "
                         "('4') or knobs ('clusters=4,levels=2,seed=7'); "
@@ -156,6 +165,8 @@ def cmd_train(args) -> int:
         machine=_machine(args.machine),
         faults=args.faults,
         dc=args.dc,
+        wss=args.wss,
+        kernel_cache_mb=args.kernel_cache_mb or 0.0,
     )
     clf = SVC(
         C=C,
@@ -206,6 +217,14 @@ def cmd_train(args) -> int:
         f"reconstructions={trace.n_reconstructions()} "
         f"messages={stats.messages} MB={stats.bytes_sent / 1e6:.2f}"
     )
+    if stats.wss != "mvp" or trace.cache_hits or trace.cache_misses:
+        cache = ""
+        if trace.cache_hits or trace.cache_misses:
+            cache = (f" cache hits={trace.cache_hits} "
+                     f"misses={trace.cache_misses} "
+                     f"hit-rate={trace.cache_hit_rate:.2f}")
+        print(f"wss={stats.wss} elections={trace.wss_elections} "
+              f"reuses={trace.wss_reuses}{cache}")
     print(f"train accuracy: {clf.score(X_train, y_train):.4f}")
     if X_test is not None and y_test is not None and len(y_test):
         print(f"test accuracy:  {clf.score(X_test, y_test):.4f}")

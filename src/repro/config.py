@@ -44,6 +44,16 @@ class RunConfig:
     engine:
         Iteration engine (``"packed"`` / ``"legacy"``); ``None`` defers to
         the ``REPRO_SVM_ENGINE`` environment variable.
+    wss:
+        Working-set-selection policy (``"mvp"`` / ``"second_order"`` /
+        ``"planning_ahead"``); ``None`` defers to the ``REPRO_SVM_WSS``
+        environment variable and then the ``mvp`` default.  Only
+        consulted by the training entry points.
+    kernel_cache_mb:
+        Per-rank byte budget (MiB) for the training-side kernel-column
+        cache; ``0`` disables it (second-order policies still keep the
+        few in-flight columns in a pinned workspace).  Only consulted by
+        the training entry points.
     comm:
         Collective suite (``"flat"`` / ``"hierarchical"``); ``None``
         defers to the ``REPRO_SVM_COMM`` environment variable and then
@@ -79,6 +89,8 @@ class RunConfig:
     nprocs: int = 1
     heuristic: Any = "multi5pc"
     engine: Optional[str] = None
+    wss: Optional[str] = None
+    kernel_cache_mb: float = 0.0
     comm: Optional[str] = None
     machine: Optional[MachineSpec] = None
     faults: Any = None
@@ -96,6 +108,10 @@ class RunConfig:
         if self.deadlock_timeout <= 0:
             raise ValueError(
                 f"deadlock_timeout must be positive, got {self.deadlock_timeout}"
+            )
+        if self.kernel_cache_mb < 0:
+            raise ValueError(
+                f"kernel_cache_mb must be >= 0, got {self.kernel_cache_mb}"
             )
 
     def replace(self, **overrides: Any) -> "RunConfig":
@@ -133,6 +149,8 @@ class RunConfig:
                 else getattr(self.heuristic, "name", str(self.heuristic))
             ),
             "engine": self.engine,
+            "wss": self.wss,
+            "kernel_cache_mb": self.kernel_cache_mb,
             "comm": self.comm,
             "machine": self.machine.name if self.machine is not None else None,
             "faults": str(self.faults) if self.faults is not None else None,

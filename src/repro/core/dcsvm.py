@@ -75,6 +75,7 @@ from .parallel import solve_rank
 from .sets import up_low_masks
 from .shrinking import Heuristic, unsafe_variant
 from .state import make_blocks
+from .wss_policies import resolve_wss
 
 #: cap on the candidate pool used for kernel-k-means++ landmark seeding
 _LANDMARK_POOL = 256
@@ -605,6 +606,10 @@ def _solve_round(
     """
     p = cfg.nprocs
     sub_heur = _SUB_HEUR
+    # sub-solves honour the run's WSS policy and column-cache budget —
+    # the budget is per rank, so carved sub-communicators keep it as-is
+    wss = resolve_wss(cfg.wss)
+    cache_bytes = int(cfg.kernel_cache_mb * 1024 * 1024)
 
     cluster_idx = [np.flatnonzero(assign == c) for c in range(k)]
     cluster_idx = [ci for ci in cluster_idx if ci.size]
@@ -637,7 +642,7 @@ def _solve_round(
                 continue  # this cluster is narrower than the group
             rr = solve_rank(
                 subcomm, blocks[subcomm.rank], part_c, params, sub_heur,
-                engine,
+                engine, wss=wss, cache_bytes=cache_bytes,
             )
             out.append((c, subcomm.rank, rr))
         return out

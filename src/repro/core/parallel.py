@@ -36,9 +36,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..kernels import Kernel
+from ..kernels import Kernel, KernelColumnCache
 from ..mpi.communicator import Comm
-from ..mpi.reduceops import MAXLOC, MINLOC, MINLOC_MAXLOC, SUM
+from ..mpi.reduceops import MAXLOC, MAXLOC_PAYLOAD, MINLOC, MINLOC_MAXLOC, SUM
 from ..sparse.csr import CSRMatrix
 from ..sparse.partition import BlockPartition
 from .gradient import apply_pair_update
@@ -54,6 +54,13 @@ from .wss import (
     beta_from_moments,
     local_extrema,
     solve_pair,
+)
+from .wss_policies import (
+    MAX_CONSECUTIVE_REUSES,
+    PoolSample,
+    ReusePool,
+    get_wss_policy,
+    second_order_best,
 )
 
 TAG_SAMPLE_UP = 1
@@ -84,6 +91,9 @@ class RankSolver:
         part: BlockPartition,
         params: SVMParams,
         heuristic: Heuristic,
+        *,
+        wss="mvp",
+        cache_bytes: int = 0,
     ) -> None:
         self.comm = comm
         self.blk = blk
@@ -98,11 +108,50 @@ class RankSolver:
         self.delta_c = self._initial_threshold
         self.shrink_enabled = heuristic.shrinks
         self.avg_nnz = blk.X.avg_row_nnz or 1.0
+        # working-set-selection policy + training-side column cache.
+        # The provider path (columns produced one at a time through the
+        # cache, actual evals charged) engages for any non-mvp policy or
+        # a positive budget; the default mvp/budget-0 combination keeps
+        # the historical cache-free code paths bitwise untouched.
+        self.wss = get_wss_policy(wss)
+        self._colcache = (
+            KernelColumnCache(int(cache_bytes))
+            if (int(cache_bytes) > 0 or self.wss.uses_provider)
+            else None
+        )
+        self._phase_eps = params.eps  # eps of the phase currently running
+        self._epoch = 0  # active-set epoch (bumped on shrink/reconstruct)
+        self._diag_memo: "tuple | None" = None
+        self._payloads: dict = {}  # gidx -> mutable payload (non-mvp only)
+        # planning-ahead reuse pool (tracked recent working-set samples)
+        self._pool = (
+            ReusePool(self.kernel)
+            if self.wss.reuse_eta is not None
+            else None
+        )
+        self._last_gain = math.inf  # gain of the last elected pair
+        self._reuse_run = 0  # consecutive reuses since the last election
 
     # ------------------------------------------------------------------
     # elementary steps
     # ------------------------------------------------------------------
     def select(self) -> Violators:
+        """Elect the next working pair under the configured WSS policy.
+
+        ``mvp`` runs the historical first-order election unchanged; the
+        second-order policies run the two-phase election, and
+        ``planning_ahead`` first tries a zero-communication reuse of the
+        previous pair.
+        """
+        if self.wss.reuse_eta is not None:
+            viol = self._take_reuse()
+            if viol is not None:
+                return viol
+        if self.wss.second_order:
+            return self._select_second_order()
+        return self._select_mvp()
+
+    def _select_mvp(self) -> Violators:
         """Local extrema over the active set + global MINLOC/MAXLOC election."""
         blk = self.blk
         idx, _, _ = blk.active_view()
@@ -112,7 +161,9 @@ class RankSolver:
         Cv = self.C[idx]
         up = up_mask(a, yv, Cv)
         low = low_mask(a, yv, Cv)
-        bu, ku, bl, kl = local_extrema(g, up, low, 0)
+        bu, ku, bl, kl = local_extrema(
+            g, up, low, 0, rank=self.comm.rank, local_indices=idx
+        )
         gi_up = blk.global_start + int(idx[ku]) if ku != NO_INDEX else NO_INDEX
         gi_low = blk.global_start + int(idx[kl]) if kl != NO_INDEX else NO_INDEX
         # a handful of flops per active sample for masks and argmin/argmax
@@ -124,8 +175,235 @@ class RankSolver:
             beta_low=low_v, i_low=low_i, gamma_low=low_v,
         )
 
+    def _select_second_order(self) -> Violators:
+        """Two-phase WSS2 election (legacy comm pattern).
+
+        Phase A is the first-order election (two pickled allreduces) —
+        its β_low remains the convergence bound, and on a converged (or
+        empty) phase the first-order pair is returned directly.  Phase B
+        broadcasts the up sample, scores every local low candidate by
+        b²/a against the up sample's local kernel column, and combines
+        (gain, global index, γ_j) with one MAXLOC_PAYLOAD allreduce.
+        """
+        blk, comm = self.blk, self.comm
+        idx, Xa, na = blk.active_view()
+        a = blk.alpha[idx]
+        yv = blk.y[idx]
+        g = blk.gamma[idx]
+        Cv = self.C[idx]
+        up, low = up_low_masks(a, yv, Cv)
+        bu, ku, bl, kl = local_extrema(
+            g, up, low, 0, rank=comm.rank, local_indices=idx
+        )
+        gi_up = blk.global_start + int(idx[ku]) if ku != NO_INDEX else NO_INDEX
+        gi_low = blk.global_start + int(idx[kl]) if kl != NO_INDEX else NO_INDEX
+        comm.advance(comm.machine.time_flops(8.0 * idx.size))
+        up_v, up_i = comm.allreduce((bu, gi_up), MINLOC)
+        low_v, low_i = comm.allreduce((bl, gi_low), MAXLOC)
+        first = Violators(
+            beta_up=up_v, i_up=up_i, gamma_up=up_v,
+            beta_low=low_v, i_low=low_i, gamma_low=low_v,
+        )
+        self._reuse_run = 0
+        if (
+            up_i == NO_INDEX
+            or low_i == NO_INDEX
+            or first.converged(self._phase_eps)
+        ):
+            return first
+        pay_up = self._fetch_one(up_i, TAG_SAMPLE_UP)
+        k_uu = self.kernel.self_value(pay_up[2])
+        kcol_up = self._column(up_i, pay_up, Xa, na)
+        diag = self._diag(na)
+        # curvature scores: ~a dozen flops per low candidate
+        comm.advance(comm.machine.time_flops(12.0 * idx.size))
+        gain, j, gamma_j = second_order_best(
+            g, low, kcol_up, diag, k_uu, up_v, blk.global_start + idx
+        )
+        out = comm.allreduce((gain, j, gamma_j), MAXLOC_PAYLOAD)
+        self.trace.wss_elections += 1
+        if int(out[1]) == NO_INDEX:
+            # unreachable while phase A reports a violator (that sample
+            # itself has positive b) — kept as a safe first-order step
+            return first
+        self._last_gain = float(out[0])
+        return Violators(
+            beta_up=up_v, i_up=up_i, gamma_up=up_v,
+            beta_low=low_v, i_low=int(out[1]), gamma_low=float(out[2]),
+        )
+
+    # ------------------------------------------------------------------
+    # planning-ahead reuse (shared by both engines)
+    # ------------------------------------------------------------------
+    def _take_reuse(self) -> "Violators | None":
+        """Step a still-violating pool pair with zero communication.
+
+        Allowed only when every rank reaches the same decision from
+        redundantly known values: no pending/imminent shrink (the next
+        election must carry fresh global bounds for the shrink mask),
+        pool still valid for this active-set epoch, some pool pair
+        still violating at the phase ε, projected gain at least
+        ``reuse_eta`` of the last elected gain, and fewer than
+        MAX_CONSECUTIVE_REUSES reuses since the last election.
+        """
+        if self._pool is None or len(self._pool) == 0:
+            return None
+        if self._reuse_run >= MAX_CONSECUTIVE_REUSES:
+            return None
+        if getattr(self, "_pending", None) is not None:
+            return None
+        if self.shrink_enabled and self.delta_c <= 1:
+            # also keeps the shrink countdown from firing mid-reuse,
+            # where viol carries pair γ instead of global β bounds
+            return None
+        best = self._pool.best_pair(self._phase_eps)
+        self._charge_pool_evals()
+        if best is None or best[0] < self.wss.reuse_eta * self._last_gain:
+            return None
+        gain, up, low = best
+        self._reuse_run += 1
+        self.trace.wss_reuses += 1
+        return Violators(
+            beta_up=up.gamma, i_up=up.gidx, gamma_up=up.gamma,
+            beta_low=low.gamma, i_low=low.gidx, gamma_low=low.gamma,
+        )
+
+    def _charge_pool_evals(self) -> None:
+        """Charge pair kernels the pool actually produced (memo misses
+        — identical on every rank, so the virtual clocks stay aligned)."""
+        n = self._pool.take_new_evals()
+        if n:
+            self.trace.kernel_evals += n
+            self.trace.iter_kernel_evals += n
+            self.comm.charge_kernel_evals(n, self.avg_nnz)
+
+    def _observe_pair(
+        self, viol, row_up, row_low, yu, yl, new_up, new_low,
+        k_uu, k_ll, k_ul, d_up, d_low,
+    ) -> None:
+        """Fold the just-computed pair update into the reuse pool.
+
+        The pair's new γ values replicate
+        :func:`~repro.core.gradient.apply_pair_update` term by term
+        (including the skip-on-zero-coefficient branches), so they are
+        bitwise equal to the owner's array entries; bystander γ
+        maintenance inside the pool applies the same arithmetic with
+        locally computed pair kernels.
+        """
+        coef_up = yu * d_up
+        coef_low = yl * d_low
+        g_u, g_l = viol.gamma_up, viol.gamma_low
+        if coef_up != 0.0:
+            g_u = g_u + coef_up * k_uu
+            g_l = g_l + coef_up * k_ul
+        if coef_low != 0.0:
+            g_u = g_u + coef_low * k_ul
+            g_l = g_l + coef_low * k_ll
+        pool = self._pool
+        pool.seed_k(viol.i_up, viol.i_up, k_uu)
+        pool.seed_k(viol.i_low, viol.i_low, k_ll)
+        pool.seed_k(viol.i_up, viol.i_low, k_ul)
+        pool.observe_update(
+            PoolSample(
+                gidx=viol.i_up, row=row_up, y=yu,
+                C=self.params.box_for(yu), alpha=new_up, gamma=g_u,
+            ),
+            PoolSample(
+                gidx=viol.i_low, row=row_low, y=yl,
+                C=self.params.box_for(yl), alpha=new_low, gamma=g_l,
+            ),
+            coef_up, coef_low,
+        )
+        self._charge_pool_evals()
+
+    # ------------------------------------------------------------------
+    # training-side kernel-column provider (non-mvp policies / cache on)
+    # ------------------------------------------------------------------
+    def _column(self, gidx, payload, Xa, na) -> np.ndarray:
+        """Φ(sample, active rows) through the per-rank column cache.
+
+        Only actual production charges kernel evaluations — unlike the
+        canonical accounting, a cache hit is free, which is the whole
+        point of the budgeted cache.
+        """
+        cache = self._colcache
+        col = cache.get(gidx)
+        if col is None:
+            rows = CSRMatrix.from_rows(
+                [(payload[0], payload[1])], self.blk.X.shape[1]
+            )
+            col = self.kernel.block(Xa, na, rows, np.array([payload[2]]))[:, 0]
+            cache.put(gidx, col)
+            n = int(na.shape[0])
+            self.trace.kernel_evals += n
+            self.trace.iter_kernel_evals += n
+            self.comm.charge_kernel_evals(n, self.avg_nnz)
+        return col
+
+    def _diag(self, norms_active) -> np.ndarray:
+        """Φ(x_j, x_j) over the active rows, memoized per epoch (libsvm's
+        QD vector); charged once per epoch like any produced column."""
+        if self._diag_memo is not None and self._diag_memo[0] == self._epoch:
+            return self._diag_memo[1]
+        d = self.kernel.diag(norms_active)
+        n = int(norms_active.shape[0])
+        self.trace.kernel_evals += n
+        self.trace.iter_kernel_evals += n
+        self.comm.charge_kernel_evals(n, self.avg_nnz)
+        self._diag_memo = (self._epoch, d)
+        return d
+
+    def _bump_epoch(self) -> None:
+        """The active set changed: columns, diag and reuse plan are stale.
+
+        The sample-payload stash survives — rows/y are immutable and α
+        is refreshed redundantly after every pair update.
+        """
+        self._epoch += 1
+        if self._colcache is not None:
+            self._colcache.bump_epoch()
+        self._diag_memo = None
+        if self._pool is not None:
+            # a shrunk sample must not be re-elected; the pool refills
+            # from post-event broadcasts, which are all active
+            self._pool.clear()
+
+    def _fetch_one(self, gidx: int, tag: int):
+        """Route one sample via rank 0 and broadcast it, with a stash.
+
+        The stash contents are identical on every rank (every payload
+        arrives by broadcast and α refreshes are redundant), so the
+        hit/miss decision — and hence the communication pattern — needs
+        no coordination.
+        """
+        ent = self._payloads.get(gidx)
+        if ent is not None:
+            return ent
+        comm, blk = self.comm, self.blk
+        owner = self.part.owner(gidx)
+        payload = None
+        if comm.rank == owner:
+            if owner == 0:
+                payload = blk.sample_payload(blk.to_local(gidx), copy=False)
+            else:
+                comm.send(blk.sample_payload(blk.to_local(gidx)), 0, tag)
+        if comm.rank == 0 and owner != 0:
+            payload = comm.recv(source=owner, tag=tag)
+        payload = comm.bcast(payload, root=0)
+        self.trace.pair_broadcasts += 1
+        ent = list(payload)
+        self._payloads[gidx] = ent
+        return ent
+
     def fetch_pair(self, viol: Violators):
         """Route the two working-set samples via rank 0, then broadcast."""
+        if self.wss.name != "mvp":
+            # stash-aware movement: a sample already resident on every
+            # rank (e.g. the phase-B up sample, or a reused pair) is free
+            return (
+                self._fetch_one(viol.i_up, TAG_SAMPLE_UP),
+                self._fetch_one(viol.i_low, TAG_SAMPLE_LOW),
+            )
         comm, blk = self.comm, self.blk
         payloads = [None, None]
         for slot, (gidx, tag) in enumerate(
@@ -165,18 +443,39 @@ class RankSolver:
         d_low = new_low - al
 
         idx, Xa, na = blk.active_view()
-        # both gradient-update kernel columns from one blocked call
-        pair = CSRMatrix.from_rows([(ui, uv), (li, lv)], blk.X.shape[1])
-        k_cols = kernel.block(Xa, na, pair, np.array([un, ln]))
+        if self._colcache is None:
+            # both gradient-update kernel columns from one blocked call
+            pair = CSRMatrix.from_rows([(ui, uv), (li, lv)], blk.X.shape[1])
+            k_cols = kernel.block(Xa, na, pair, np.array([un, ln]))
+            k_up_col, k_low_col = k_cols[:, 0], k_cols[:, 1]
+            evals = 2 * idx.size + 3
+        else:
+            # provider path: columns charge on production in _column,
+            # only the 3 pair evaluations are charged here
+            k_up_col = self._column(viol.i_up, pay_up, Xa, na)
+            k_low_col = self._column(viol.i_low, pay_low, Xa, na)
+            evals = 3
         gsub = blk.gamma[idx]
-        apply_pair_update(gsub, k_cols[:, 0], k_cols[:, 1], yu, yl, d_up, d_low)
+        apply_pair_update(gsub, k_up_col, k_low_col, yu, yl, d_up, d_low)
         blk.gamma[idx] = gsub
         if blk.owns_global(viol.i_up):
             blk.alpha[blk.to_local(viol.i_up)] = new_up
         if blk.owns_global(viol.i_low):
             blk.alpha[blk.to_local(viol.i_low)] = new_low
+        if self.wss.name != "mvp":
+            # keep the redundantly known stash α current
+            ent = self._payloads.get(viol.i_up)
+            if ent is not None:
+                ent[4] = new_up
+            ent = self._payloads.get(viol.i_low)
+            if ent is not None:
+                ent[4] = new_low
+        if self.wss.reuse_eta is not None:
+            self._observe_pair(
+                viol, (ui, uv, un), (li, lv, ln), yu, yl, new_up, new_low,
+                k_uu, k_ll, k_ul, d_up, d_low,
+            )
 
-        evals = 2 * idx.size + 3
         self.trace.kernel_evals += evals
         self.trace.iter_kernel_evals += evals
         comm.charge_kernel_evals(evals, self.avg_nnz)
@@ -227,6 +526,10 @@ class RankSolver:
         if n_shrunk:
             blk.active[idx[mask]] = False
             blk.invalidate_active()
+        # collective (delta != 0 on every rank): the reuse plan lives on
+        # all ranks and must drop everywhere or the reuse decision —
+        # and with it the communication pattern — would diverge
+        self._bump_epoch()
         self.trace.shrink_iters.append(self.iterations)
         self.trace.shrunk_per_event.append(n_shrunk)
         if self.heur.subsequent == "active_set":
@@ -239,6 +542,8 @@ class RankSolver:
         gradient_reconstruction(
             self.comm, self.blk, self.kernel, self.iterations, self.trace
         )
+        self._bump_epoch()
+        self._last_gain = math.inf
         return self.select()
 
     # ------------------------------------------------------------------
@@ -248,6 +553,7 @@ class RankSolver:
         self, viol: Violators, eps: float, shrink_active: bool
     ) -> Violators:
         """Iterate until β_up + 2·eps ≥ β_low on the active problem."""
+        self._phase_eps = eps  # reuse/phase-B decisions test this bound
         while not viol.converged(eps):
             self.iterate_once(viol, shrink_active)
             viol = self.select()
@@ -296,6 +602,9 @@ class RankSolver:
                     viol = self.reconstruct()
                 self.delta_c = min(self.delta_c, self._initial_threshold)
 
+        if self._colcache is not None:
+            self.trace.cache_hits = self._colcache.hits
+            self.trace.cache_misses = self._colcache.misses
         beta = self._final_beta(viol)
         return RankResult(
             alpha=self.blk.alpha,
@@ -328,7 +637,7 @@ class _ResidentSample:
     hit needs no payload movement at all.
     """
 
-    __slots__ = ("idx", "vals", "norm", "y", "alpha", "kcol", "epoch")
+    __slots__ = ("idx", "vals", "norm", "y", "alpha", "kcol", "epoch", "gidx")
 
     def __init__(self, idx, vals, norm, y, alpha) -> None:
         self.idx = idx
@@ -338,6 +647,7 @@ class _ResidentSample:
         self.alpha = alpha
         self.kcol = None
         self.epoch = -1
+        self.gidx = NO_INDEX  # set by the fetch that registers the entry
 
 
 @dataclass
@@ -387,8 +697,14 @@ class PackedRankSolver(RankSolver):
         part: BlockPartition,
         params: SVMParams,
         heuristic: Heuristic,
+        *,
+        wss="mvp",
+        cache_bytes: int = 0,
     ) -> None:
-        super().__init__(comm, blk, part, params, heuristic)
+        super().__init__(
+            comm, blk, part, params, heuristic,
+            wss=wss, cache_bytes=cache_bytes,
+        )
         self.compact = CompactActiveSet(blk, self.C)
         self._resident: dict = {}
         self._pending: "_PendingShrink | None" = None
@@ -398,7 +714,10 @@ class PackedRankSolver(RankSolver):
     # ------------------------------------------------------------------
     def _election_buffer(self, up, low, tail) -> np.ndarray:
         cs = self.compact
-        bu, ku, bl, kl = local_extrema(cs.gamma, up, low, 0)
+        bu, ku, bl, kl = local_extrema(
+            cs.gamma, up, low, 0,
+            rank=self.comm.rank, local_indices=cs.lidx,
+        )
         gi_up = float(cs.gidx[ku]) if ku != NO_INDEX else float(NO_INDEX)
         gi_low = float(cs.gidx[kl]) if kl != NO_INDEX else float(NO_INDEX)
         slots = [bu, gi_up, bl, gi_low]
@@ -406,7 +725,7 @@ class PackedRankSolver(RankSolver):
             slots.append(tail)
         return np.array(slots, dtype=np.float64)
 
-    def select(self) -> Violators:
+    def _select_mvp(self) -> Violators:
         """One fused typed Allreduce elects the pair (and settles a
         pending shrink's δ when one rode along)."""
         cs, comm = self.compact, self.comm
@@ -432,6 +751,72 @@ class PackedRankSolver(RankSolver):
         return Violators(
             beta_up=float(out[0]), i_up=int(out[1]), gamma_up=float(out[0]),
             beta_low=float(out[2]), i_low=int(out[3]), gamma_low=float(out[2]),
+        )
+
+    def _select_second_order(self) -> Violators:
+        """Two-phase WSS2 election on the packed engine.
+
+        Phase A is the unchanged fused MINLOC_MAXLOC allreduce —
+        including the pending-shrink δ tail and candidate exclusions —
+        so shrink semantics are identical to ``mvp``.  Phase B fetches
+        the elected up sample (owner-rooted broadcast, resident-cache
+        aware), scores the local low candidates by b²/a against its
+        kernel column, and combines (gain, global index, γ_j) with one
+        typed MAXLOC_PAYLOAD allreduce.  β_low from phase A remains the
+        convergence bound (libsvm's WSS2 stopping rule).
+        """
+        cs, comm = self.compact, self.comm
+        pending = self._pending
+        up, low = up_low_masks(cs.alpha, cs.y, cs.C)
+        if pending is not None:
+            if pending.n_shrunk:
+                keep = ~pending.mask
+                up &= keep
+                low &= keep
+            tail = float(cs.n_active - pending.n_shrunk)
+        else:
+            tail = None
+        comm.advance(comm.machine.time_flops(8.0 * cs.n_active))
+        out = comm.allreduce_buffer(
+            self._election_buffer(up, low, tail), MINLOC_MAXLOC
+        )
+        if pending is not None:
+            out = self._resolve_shrink(pending, int(out[4]), out)
+            # the shrink (or its veto) may have recompacted the arrays;
+            # phase B scores over the post-resolution candidate set
+            up, low = up_low_masks(cs.alpha, cs.y, cs.C)
+        beta_up, i_up = float(out[0]), int(out[1])
+        beta_low, i_low1 = float(out[2]), int(out[3])
+        first = Violators(
+            beta_up=beta_up, i_up=i_up, gamma_up=beta_up,
+            beta_low=beta_low, i_low=i_low1, gamma_low=beta_low,
+        )
+        self._reuse_run = 0
+        if (
+            i_up == NO_INDEX
+            or i_low1 == NO_INDEX
+            or first.converged(self._phase_eps)
+        ):
+            return first
+        ent_up = self._fetch_sample(i_up)
+        k_uu = self.kernel.self_value(ent_up.norm)
+        kcol_up = self._column_packed(ent_up)
+        diag = self._diag(cs.norms)
+        comm.advance(comm.machine.time_flops(12.0 * cs.n_active))
+        gain, j, gamma_j = second_order_best(
+            cs.gamma, low, kcol_up, diag, k_uu, beta_up, cs.gidx
+        )
+        out2 = comm.allreduce_buffer(
+            np.array([gain, float(j), gamma_j], dtype=np.float64),
+            MAXLOC_PAYLOAD,
+        )
+        self.trace.wss_elections += 1
+        if int(out2[1]) == NO_INDEX:
+            return first
+        self._last_gain = float(out2[0])
+        return Violators(
+            beta_up=beta_up, i_up=i_up, gamma_up=beta_up,
+            beta_low=beta_low, i_low=int(out2[1]), gamma_low=float(out2[2]),
         )
 
     def _resolve_shrink(
@@ -461,6 +846,11 @@ class PackedRankSolver(RankSolver):
             blk.active[cs.lidx[pending.mask]] = False
             blk.invalidate_active()
             cs.rebuild()
+        # collective (delta != 0 on every rank, the fire event is a
+        # shared countdown): the reuse plan and column cache must drop
+        # on all ranks together or the reuse decision — and with it the
+        # communication pattern — would diverge
+        self._bump_epoch()
         if self.heur.subsequent == "active_set":
             self.delta_c = max(1.0, float(delta))
         else:
@@ -487,6 +877,7 @@ class PackedRankSolver(RankSolver):
         payload = comm.bcast(payload, root=owner)
         self.trace.pair_broadcasts += 1
         ent = _ResidentSample(*payload)
+        ent.gidx = gidx  # column-cache key (provider path)
         self._resident[gidx] = ent
         return ent
 
@@ -518,6 +909,10 @@ class PackedRankSolver(RankSolver):
         elementwise expressions.
         """
         cs = self.compact
+        if self._colcache is not None:
+            # provider path: each column is served/produced through the
+            # byte-budgeted cache and charged only on actual production
+            return self._column_packed(ent_up), self._column_packed(ent_low)
         need = [
             e
             for e in (ent_up, ent_low)
@@ -534,6 +929,26 @@ class PackedRankSolver(RankSolver):
                 e.kcol = cols[:, j]
                 e.epoch = cs.epoch
         return ent_up.kcol, ent_low.kcol
+
+    def _column_packed(self, ent: _ResidentSample) -> np.ndarray:
+        """Φ(sample, packed active rows) through the per-rank column
+        cache; production (a miss) charges the actual evaluations."""
+        cache = self._colcache
+        col = cache.get(ent.gidx)
+        if col is None:
+            cs = self.compact
+            rows = CSRMatrix.from_rows(
+                [(ent.idx, ent.vals)], self.blk.X.shape[1]
+            )
+            col = self.kernel.block(
+                cs.Xa, cs.norms, rows, np.array([ent.norm])
+            )[:, 0]
+            cache.put(ent.gidx, col)
+            n = int(cs.n_active)
+            self.trace.kernel_evals += n
+            self.trace.iter_kernel_evals += n
+            self.comm.charge_kernel_evals(n, self.avg_nnz)
+        return col
 
     # ------------------------------------------------------------------
     # the packed iteration
@@ -568,8 +983,20 @@ class PackedRankSolver(RankSolver):
         # payloads current so a repeat election moves no bytes
         ent_up.alpha = new_up
         ent_low.alpha = new_low
+        if self.wss.reuse_eta is not None:
+            self._observe_pair(
+                viol,
+                (ent_up.idx, ent_up.vals, ent_up.norm),
+                (ent_low.idx, ent_low.vals, ent_low.norm),
+                yu, yl, new_up, new_low, k_uu, k_ll, k_ul, d_up, d_low,
+            )
 
-        evals = 2 * cs.n_active + 3
+        if self._colcache is None:
+            evals = 2 * cs.n_active + 3
+        else:
+            # provider accounting: columns charged on production inside
+            # _column_packed, only the 3 pair evaluations land here
+            evals = 3
         self.trace.kernel_evals += evals
         self.trace.iter_kernel_evals += evals
         comm.charge_kernel_evals(evals, self.avg_nnz)
@@ -607,6 +1034,8 @@ class PackedRankSolver(RankSolver):
             self.comm, self.blk, self.kernel, self.iterations, self.trace
         )
         self.compact.rebuild()
+        self._bump_epoch()
+        self._last_gain = math.inf
         return self.select()
 
     def _final_beta(self, viol: Violators) -> float:
@@ -628,6 +1057,9 @@ def solve_rank(
     params: SVMParams,
     heuristic: Heuristic,
     engine: str = "packed",
+    *,
+    wss: str = "mvp",
+    cache_bytes: int = 0,
 ) -> RankResult:
     """Entry point executed by :func:`repro.mpi.run_spmd` on each rank."""
     try:
@@ -636,4 +1068,6 @@ def solve_rank(
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
         ) from None
-    return cls(comm, blk, part, params, heuristic).solve()
+    return cls(
+        comm, blk, part, params, heuristic, wss=wss, cache_bytes=cache_bytes
+    ).solve()

@@ -29,6 +29,7 @@ from .params import SVMParams
 from .shrinking import Heuristic, get_heuristic
 from .state import make_blocks
 from .trace import FitStats, SolveTrace
+from .wss_policies import resolve_wss
 
 #: environment override for the iteration engine ("packed" / "legacy")
 ENGINE_ENV = "REPRO_SVM_ENGINE"
@@ -86,6 +87,8 @@ def fit_parallel(
     warm_start_alpha: Optional[np.ndarray] = None,
     faults=None,
     engine: Optional[str] = None,
+    wss: Optional[str] = None,
+    kernel_cache_mb: Optional[float] = None,
     comm: Optional[str] = None,
     dc=None,
 ) -> FitResult:
@@ -123,6 +126,24 @@ def fit_parallel(
     ``REPRO_SVM_ENGINE`` environment variable, falling back to
     ``"packed"``.
 
+    ``wss`` selects the working-set-selection policy: ``"mvp"``
+    (default; Keerthi et al. maximal violating pair, bitwise identical
+    to the historical behaviour), ``"second_order"`` (LIBSVM's WSS2
+    curvature-scored i_low via a two-phase election), or
+    ``"planning_ahead"`` (second-order plus zero-communication reuse of
+    the previous pair).  The non-default policies trade extra per-
+    iteration work/communication for substantially fewer iterations and
+    kernel evaluations; their models agree with ``mvp`` within solver
+    tolerance.  ``None`` reads the ``REPRO_SVM_WSS`` environment
+    variable, falling back to ``"mvp"``.
+
+    ``kernel_cache_mb`` gives each rank a byte-budgeted LRU cache of
+    training-side kernel columns (invalidated at every shrink/
+    reconstruction).  ``0`` (default) keeps the canonical cache-free
+    accounting; any positive budget — or a second-order policy, which
+    needs the elected column twice — routes columns through the cache
+    and charges only actual production.
+
     ``comm`` selects the collective suite: ``"flat"`` (the single-level
     textbook algorithms) or ``"hierarchical"`` (topology-aware two-level
     variants; see :mod:`repro.mpi.topology`).  Both produce bitwise
@@ -146,12 +167,16 @@ def fit_parallel(
         deadlock_timeout=deadlock_timeout,
         faults=faults,
         engine=engine,
+        wss=wss,
+        kernel_cache_mb=kernel_cache_mb,
         comm=comm,
         dc=dc,
     )
     heuristic, nprocs = cfg.heuristic, cfg.nprocs
     machine, faults = cfg.machine, cfg.faults
     engine = resolve_engine(cfg.engine)
+    wss = resolve_wss(cfg.wss)
+    cache_bytes = int(cfg.kernel_cache_mb * 1024 * 1024)
     if not isinstance(X, CSRMatrix):
         X = CSRMatrix.from_dense(np.asarray(X, dtype=np.float64))
     y = np.asarray(y, dtype=np.float64)
@@ -227,7 +252,10 @@ def fit_parallel(
             blk.invalidate_active()
 
     def entry(comm):
-        return solve_rank(comm, blocks[comm.rank], part, params, heur, engine)
+        return solve_rank(
+            comm, blocks[comm.rank], part, params, heur, engine,
+            wss=wss, cache_bytes=cache_bytes,
+        )
 
     t0 = time.perf_counter()
     spmd = run_spmd(
@@ -264,6 +292,7 @@ def fit_parallel(
         messages=spmd.total_messages,
         trace=trace,
         engine=engine,
+        wss=wss,
     )
     return FitResult(
         model=model,

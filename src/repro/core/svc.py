@@ -70,6 +70,17 @@ class SVC:
         ``"legacy"``; ``None`` defers to the ``REPRO_SVM_ENGINE``
         environment variable (default ``"packed"``).  Both engines
         produce bitwise-identical models.
+    wss:
+        Working-set-selection policy: ``"mvp"`` (default; bitwise
+        identical to the historical behaviour), ``"second_order"``
+        (LIBSVM-style WSS2) or ``"planning_ahead"`` (second-order plus
+        zero-communication pair reuse); ``None`` defers to the
+        ``REPRO_SVM_WSS`` environment variable.  Non-default policies
+        converge in fewer iterations to a model equal within solver
+        tolerance.
+    kernel_cache_mb:
+        Per-rank training-side kernel-column cache budget in MiB
+        (``0`` disables; see :class:`~repro.kernels.KernelColumnCache`).
     comm:
         Collective suite: ``"flat"`` or ``"hierarchical"`` (topology-
         aware two-level collectives); ``None`` defers to the
@@ -105,6 +116,8 @@ class SVC:
         class_weight: Optional[Union[dict, str]] = None,
         faults=None,
         engine: Optional[str] = None,
+        wss: Optional[str] = None,
+        kernel_cache_mb: Optional[float] = None,
         comm: Optional[str] = None,
         dc=None,
         config: Optional[RunConfig] = None,
@@ -118,6 +131,8 @@ class SVC:
             machine=machine,
             faults=faults,
             engine=engine,
+            wss=wss,
+            kernel_cache_mb=kernel_cache_mb,
             comm=comm,
             dc=dc,
         )
@@ -134,6 +149,8 @@ class SVC:
         self.class_weight = class_weight
         self.faults = cfg.faults
         self.engine = cfg.engine
+        self.wss = cfg.wss
+        self.kernel_cache_mb = cfg.kernel_cache_mb
         self.comm = cfg.comm
         self.dc = cfg.dc
         self.config = cfg
@@ -202,6 +219,8 @@ class SVC:
             machine=self.machine,
             faults=self.faults,
             engine=self.engine,
+            wss=self.wss,
+            kernel_cache_mb=self.kernel_cache_mb,
             comm=self.comm,
             dc=self.dc,
         )
@@ -295,6 +314,8 @@ class SVC:
             "class_weight": self.class_weight,
             "faults": self.faults,
             "engine": self.engine,
+            "wss": self.wss,
+            "kernel_cache_mb": self.kernel_cache_mb,
             "comm": self.comm,
             "dc": self.dc,
         }

@@ -48,6 +48,15 @@ class RankTrace:
     #: engine's resident cache makes this < 2·iterations; identical on
     #: every rank since the broadcast sequence is collective)
     pair_broadcasts: int = 0
+    #: full (two-phase, for second-order policies) violator elections;
+    #: identical on every rank — elections are collective
+    wss_elections: int = 0
+    #: planning-ahead zero-communication pair reuses; identical on
+    #: every rank — the reuse decision is computed redundantly
+    wss_reuses: int = 0
+    #: training-side kernel-column cache hits/misses on this rank
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def record_iteration(self, n_active_local: int) -> None:
         self.active_counts.append(n_active_local)
@@ -78,6 +87,15 @@ class SolveTrace:
     #: miss sequence of the packed engine's resident cache is fixed by
     #: the deterministic iteration sequence)
     pair_broadcasts: int = 0
+    #: full violator elections (= iterations under ``mvp``; fewer under
+    #: planning-ahead, whose reuses skip the election entirely)
+    wss_elections: int = 0
+    #: planning-ahead zero-communication pair reuses
+    wss_reuses: int = 0
+    #: training-side kernel-column cache hits/misses summed over ranks
+    #: (0/0 when the engines ran the canonical cache-free path)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @classmethod
     def merge(
@@ -120,7 +138,18 @@ class SolveTrace:
             pair_broadcasts=max(
                 (t.pair_broadcasts for t in rank_traces), default=0
             ),
+            wss_elections=max(
+                (t.wss_elections for t in rank_traces), default=0
+            ),
+            wss_reuses=max((t.wss_reuses for t in rank_traces), default=0),
+            cache_hits=sum(t.cache_hits for t in rank_traces),
+            cache_misses=sum(t.cache_misses for t in rank_traces),
         )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     # ------------------------------------------------------------------
     # §V-D style analysis helpers
@@ -173,6 +202,10 @@ class SolveTrace:
             "kernel_evals": self.kernel_evals,
             "iter_kernel_evals": self.iter_kernel_evals,
             "pair_broadcasts": self.pair_broadcasts,
+            "wss_elections": self.wss_elections,
+            "wss_reuses": self.wss_reuses,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
     @classmethod
@@ -191,6 +224,10 @@ class SolveTrace:
             kernel_evals=int(d["kernel_evals"]),
             iter_kernel_evals=int(d["iter_kernel_evals"]),
             pair_broadcasts=int(d.get("pair_broadcasts", 0)),
+            wss_elections=int(d.get("wss_elections", 0)),
+            wss_reuses=int(d.get("wss_reuses", 0)),
+            cache_hits=int(d.get("cache_hits", 0)),
+            cache_misses=int(d.get("cache_misses", 0)),
         )
 
     def save(self, path) -> None:
@@ -225,3 +262,4 @@ class FitStats:
     messages: int
     trace: Optional[SolveTrace] = None
     engine: str = "packed"  # iteration engine the fit ran with
+    wss: str = "mvp"  # working-set-selection policy the fit ran with

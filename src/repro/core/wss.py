@@ -36,6 +36,37 @@ TAU = 1e-12
 NO_INDEX = -1
 
 
+class SolverError(RuntimeError):
+    """A poisoned solver state detected during working-set selection."""
+
+
+def guard_gamma_finite(
+    gamma: np.ndarray,
+    rank: int | None = None,
+    local_indices: np.ndarray | None = None,
+) -> None:
+    """Raise :class:`SolverError` when ``gamma`` contains a NaN.
+
+    ``argmin``/``argmax`` silently absorb NaN entries (numpy propagates
+    them to the winner), which would elect a garbage pair and poison the
+    whole run; this names the offending rank and local sample index
+    instead.  ``local_indices`` maps positions in ``gamma`` (e.g. a
+    packed active view) back to local sample indices for the message.
+    """
+    bad = np.isnan(gamma)
+    if not bad.any():
+        return
+    k = int(np.flatnonzero(bad)[0])
+    li = int(local_indices[k]) if local_indices is not None else k
+    where = f"rank {rank}" if rank is not None else "this rank"
+    raise SolverError(
+        f"NaN gradient entry during working-set selection on {where}, "
+        f"local index {li} ({int(bad.sum())} NaN entr"
+        f"{'y' if int(bad.sum()) == 1 else 'ies'} total) — the dual "
+        f"state is poisoned (bad kernel parameters or corrupted input?)"
+    )
+
+
 @dataclass(frozen=True)
 class Violators:
     """The global worst-violator pair after the allreduce."""
@@ -60,12 +91,18 @@ def local_extrema(
     up: np.ndarray,
     low: np.ndarray,
     global_offset: int,
+    *,
+    rank: int | None = None,
+    local_indices: np.ndarray | None = None,
 ) -> Tuple[float, int, float, int]:
     """This rank's (β_up, i_up, β_low, i_low) over the given masks.
 
     Returns global indices; ``(inf, NO_INDEX)`` / ``(-inf, NO_INDEX)``
-    when the respective candidate set is empty on this rank.
+    when the respective candidate set is empty on this rank.  A NaN in
+    ``gamma`` raises :class:`SolverError` (``rank`` / ``local_indices``
+    feed the diagnostic) instead of silently poisoning the extrema.
     """
+    guard_gamma_finite(gamma, rank=rank, local_indices=local_indices)
     beta_up, i_up = np.inf, NO_INDEX
     beta_low, i_low = -np.inf, NO_INDEX
     up_idx = np.flatnonzero(up)

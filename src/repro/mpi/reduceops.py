@@ -90,6 +90,30 @@ def _fused_minloc_maxloc(a, b):
     return out
 
 
+def _maxloc_payload(a, b):
+    """Combine two MAXLOC-with-payload buffers.
+
+    Slot [0] is the value, slot [1] the location; any trailing slots are
+    opaque payload that travels with the winning (value, location) pair.
+    The comparison is exactly ``_pair_maxloc`` — value first, smallest
+    location on ties — so each combine picks one whole operand, which
+    keeps the op associative and commutative regardless of payload
+    contents.  The second-order working-set election uses it to carry
+    the winning candidate's γ alongside its gain and global index.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if b[0] > a[0] or (b[0] == a[0] and b[1] < a[1]):
+        return b.copy()
+    return a.copy()
+
+
+def _tuple_maxloc_payload(a, b):
+    if b[0] > a[0] or (b[0] == a[0] and b[1] < a[1]):
+        return b
+    return a
+
+
 SUM = ReduceOp("SUM", lambda a, b: a + b, lambda a, b: a + b)
 PROD = ReduceOp("PROD", lambda a, b: a * b, lambda a, b: a * b)
 MAX = ReduceOp("MAX", np.maximum, max)
@@ -105,11 +129,16 @@ MAXLOC = ReduceOp("MAXLOC", _arr_maxloc, _pair_maxloc)
 MINLOC_MAXLOC = ReduceOp(
     "MINLOC_MAXLOC", _fused_minloc_maxloc, _fused_minloc_maxloc
 )
+#: MAXLOC whose buffer carries extra payload slots that follow the
+#: winner (the second phase of the second-order violator election)
+MAXLOC_PAYLOAD = ReduceOp(
+    "MAXLOC_PAYLOAD", _maxloc_payload, _tuple_maxloc_payload
+)
 
 ALL_OPS = {
     op.name: op
     for op in (
         SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR, MINLOC, MAXLOC,
-        MINLOC_MAXLOC,
+        MINLOC_MAXLOC, MAXLOC_PAYLOAD,
     )
 }

@@ -158,6 +158,11 @@ ELECTION_SHRINK_BYTES = 5 * 8.0
 PICKLED_PAIR_BYTES = 64.0
 
 
+#: wire size of the second-order phase-B combine — a typed float64
+#: buffer [gain, i_low, γ_low] reduced with the MAXLOC_PAYLOAD op
+WSS2_PHASE_BYTES = 3 * 8.0
+
+
 def election_time(
     m: MachineSpec, p: int, *, with_shrink: bool = False, comm: str = "flat"
 ) -> float:
@@ -171,6 +176,30 @@ def election_time(
     if comm == "hierarchical":
         return hier_allreduce_time(m, nbytes, p)
     return allreduce_time(m, nbytes, p)
+
+
+def wss2_election_time(
+    m: MachineSpec, p: int, *, with_shrink: bool = False, comm: str = "flat"
+) -> float:
+    """One full two-phase second-order election (packed engine).
+
+    Phase A is the ordinary fused election (optionally carrying a
+    shrink δ tail); phase B adds one typed MAXLOC_PAYLOAD Allreduce of
+    the (gain, index, γ) triple.  The phase-B up-sample broadcast is
+    *not* included — it is stash-aware and therefore trace-counted with
+    the other pair broadcasts, not a fixed per-election cost.
+    """
+    t = election_time(m, p, with_shrink=with_shrink, comm=comm)
+    if comm == "hierarchical":
+        return t + hier_allreduce_time(m, WSS2_PHASE_BYTES, p)
+    return t + allreduce_time(m, WSS2_PHASE_BYTES, p)
+
+
+def wss2_election_messages(m: MachineSpec, p: int, comm: str = "flat") -> int:
+    """Messages added by one phase-B combine on top of phase A."""
+    if comm == "hierarchical":
+        return hier_allreduce_messages(m, p)
+    return allreduce_messages(p)
 
 
 # ----------------------------------------------------------------------

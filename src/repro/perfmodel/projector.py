@@ -91,6 +91,7 @@ def project(
     iteration_scale: float = 1.0,
     engine: str = "packed",
     comm: str = "flat",
+    wss: str = "mvp",
 ) -> ProjectedTime:
     """Evaluate the time model at ``p`` processes.
 
@@ -105,6 +106,15 @@ def project(
     allreduces with the machine's two-level (intra/inter) parameters,
     mirroring :mod:`repro.mpi.topology`.  The reconstruction ring is
     neighbor point-to-point traffic, identical under either suite.
+
+    ``wss`` names the working-set-selection policy the trace ran with.
+    The per-iteration communication then follows the trace's own
+    counters: ``wss_elections`` iterations paid the second-order
+    phase-B combine (:func:`~repro.perfmodel.costs.wss2_election_time`)
+    on top of the phase-A election, and ``wss_reuses`` iterations
+    elected nothing at all (planning-ahead zero-communication reuse).
+    Under ``"mvp"`` both counters are zero and the model reduces to the
+    historical one-election-per-iteration shape.
     """
     if p < 1:
         raise ValueError(f"p must be >= 1, got {p}")
@@ -114,6 +124,10 @@ def project(
         raise ValueError(f"unknown engine {engine!r} (packed | legacy)")
     if comm not in ("flat", "hierarchical"):
         raise ValueError(f"unknown comm {comm!r} (flat | hierarchical)")
+    if wss not in ("mvp", "second_order", "planning_ahead"):
+        raise ValueError(
+            f"unknown wss {wss!r} (mvp | second_order | planning_ahead)"
+        )
 
     active = trace.active_counts.astype(np.float64) * n_scale
     iters = trace.iterations
@@ -139,32 +153,61 @@ def project(
     _bcast = costs.hier_bcast_time if hier else costs.bcast_time
     _allreduce = costs.hier_allreduce_time if hier else costs.allreduce_time
 
+    # WSS accounting: phase-B combines and zero-communication reuse
+    # iterations scale with the stretched iteration axis.  Under "mvp"
+    # both trace counters are zero, so these reduce to the historical
+    # one-election-per-iteration shape.
+    scale_i = iters / float(trace.iterations) if trace.iterations > 0 else 1.0
+    n_phase_b = float(trace.wss_elections) * scale_i
+    n_reuse = float(trace.wss_reuses) * scale_i
+    n_elect = max(0.0, float(iters) - n_reuse)
+    if n_phase_b > 0:
+        # phase-B curvature scoring over the rank's low candidates
+        mean_active = float(np.mean(per_rank_active)) if iters > 0 else 0.0
+        iter_compute += n_phase_b * float(m.time_flops(12.0 * mean_active))
+
     n_shrink_events = len(trace.shrink_iters)
     if engine == "packed":
         # owner-rooted binomial broadcasts fire only on resident-cache
         # misses; the miss sequence is fixed by the (p-independent)
-        # iteration sequence, so the trace records the exact count.
-        # Traces predating the counter — or from legacy runs, which
-        # move both samples every iteration — fall back to the
-        # 2-per-iteration upper bound.
+        # iteration sequence, so the trace records the exact count —
+        # including the phase-B up-sample fetches, which go through the
+        # same stash-aware path.  Traces predating the counter — or from
+        # legacy runs, which move both samples every iteration — fall
+        # back to the 2-per-iteration upper bound.
         n_bcast = float(trace.pair_broadcasts or 2 * trace.iterations)
-        if trace.iterations > 0:
-            n_bcast *= iters / float(trace.iterations)
-        # one fused typed election Allreduce per iteration; a shrink
-        # event widens the following election by the piggybacked δ slot
+        n_bcast *= scale_i
+        # one fused typed election Allreduce per electing iteration
+        # (reuse iterations elect nothing); a shrink event widens the
+        # following election by the piggybacked δ slot
         reduces = costs.election_time(m, p, comm=comm)
-        iter_comm = n_bcast * _bcast(m, sbytes, p) + iters * reduces
+        iter_comm = n_bcast * _bcast(m, sbytes, p) + n_elect * reduces
+        # phase-B typed MAXLOC_PAYLOAD combine on top of phase A
+        iter_comm += n_phase_b * (
+            costs.wss2_election_time(m, p, comm=comm) - reduces
+        )
         iter_comm += n_shrink_events * (
             costs.election_time(m, p, with_shrink=True, comm=comm)
             - costs.election_time(m, p, comm=comm)
         )
     else:
-        # owners -> rank 0 routing: with probability 1/p the owner *is*
-        # rank 0 and no message is sent (exactly zero at p = 1)
-        route = 2.0 * costs.p2p_time(m, sbytes) * (1.0 - 1.0 / p)
-        bcast = _bcast(m, 2.0 * sbytes, p)
         reduces = 2.0 * _allreduce(m, costs.PICKLED_PAIR_BYTES, p)
-        iter_comm = iters * (route + bcast + reduces)
+        if wss == "mvp":
+            # owners -> rank 0 routing: with probability 1/p the owner
+            # *is* rank 0 and no message is sent (exactly zero at p = 1)
+            route = 2.0 * costs.p2p_time(m, sbytes) * (1.0 - 1.0 / p)
+            bcast = _bcast(m, 2.0 * sbytes, p)
+            iter_comm = iters * (route + bcast) + n_elect * reduces
+        else:
+            # non-mvp legacy moves samples one at a time through the
+            # stash-aware relay; the trace counts actual movements
+            n_bcast = float(trace.pair_broadcasts or 2 * trace.iterations)
+            n_bcast *= scale_i
+            route = costs.p2p_time(m, sbytes) * (1.0 - 1.0 / p)
+            iter_comm = n_bcast * (route + _bcast(m, sbytes, p))
+            iter_comm += n_elect * reduces
+        # phase-B pickled MAXLOC_PAYLOAD allreduce on top of phase A
+        iter_comm += n_phase_b * _allreduce(m, costs.PICKLED_PAIR_BYTES, p)
         # the δ allreduce at each shrink event
         iter_comm += n_shrink_events * _allreduce(
             m, costs.PICKLED_PAIR_BYTES, p

@@ -152,3 +152,58 @@ def test_solve_pair_properties(y_up, y_low, a_up, a_low, g_up, g_low, k_ul):
     assert np.isclose(
         y_up * a_up + y_low * a_low, y_up * nu + y_low * nl, atol=1e-8
     )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    y_up=st.sampled_from([-1.0, 1.0]),
+    y_low=st.sampled_from([-1.0, 1.0]),
+    C_up=st.floats(0.1, 20),
+    C_low=st.floats(0.1, 20),
+    f_up=st.floats(0, 1),
+    f_low=st.floats(0, 1),
+    g_up=st.floats(-10, 10),
+    g_low=st.floats(-10, 10),
+    k_ul=st.floats(-0.99, 0.99),
+)
+def test_solve_pair_asymmetric_boxes(
+    y_up, y_low, C_up, C_low, f_up, f_low, g_up, g_low, k_ul
+):
+    """Per-class weighting: each alpha honours its *own* box and the
+    pair constraint survives the asymmetric clipping."""
+    a_up, a_low = f_up * C_up, f_low * C_low
+    nu, nl = solve_pair(1.0, 1.0, k_ul, y_up, y_low, a_up, a_low,
+                        g_up, g_low, C_up, C_low)
+    assert -1e-9 <= nu <= C_up + 1e-9
+    assert -1e-9 <= nl <= C_low + 1e-9
+    assert np.isclose(
+        y_up * a_up + y_low * a_low, y_up * nu + y_low * nl, atol=1e-8
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    y_up=st.sampled_from([-1.0, 1.0]),
+    y_low=st.sampled_from([-1.0, 1.0]),
+    a_up=st.floats(0, 10),
+    a_low=st.floats(0, 10),
+    g_up=st.floats(-10, 10),
+    g_low=st.floats(-10, 10),
+    k_uu=st.floats(0.1, 2.0),
+    k_ll=st.floats(0.1, 2.0),
+    bump=st.floats(0.0, 3.0),
+)
+def test_solve_pair_non_psd_branch(
+    y_up, y_low, a_up, a_low, g_up, g_low, k_uu, k_ll, bump
+):
+    """rho = 2·k_ul − k_uu − k_ll >= 0 (indefinite 2x2 block) takes the
+    −τ regularization branch and must stay finite and feasible."""
+    k_ul = (k_uu + k_ll) / 2.0 + bump  # forces rho >= 0 exactly at 0 too
+    nu, nl = solve_pair(k_uu, k_ll, k_ul, y_up, y_low, a_up, a_low,
+                        g_up, g_low, 10.0)
+    assert np.isfinite(nu) and np.isfinite(nl)
+    assert -1e-9 <= nu <= 10.0 + 1e-9
+    assert -1e-9 <= nl <= 10.0 + 1e-9
+    assert np.isclose(
+        y_up * a_up + y_low * a_low, y_up * nu + y_low * nl, atol=1e-8
+    )

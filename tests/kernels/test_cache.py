@@ -1,9 +1,9 @@
-"""LRU kernel-row cache behaviour."""
+"""LRU kernel-row cache and the two-tier training column cache."""
 
 import numpy as np
 import pytest
 
-from repro.kernels import KernelRowCache
+from repro.kernels import KernelColumnCache, KernelRowCache
 
 
 def row(n=10, fill=1.0):
@@ -81,6 +81,33 @@ def test_negative_capacity_rejected():
         KernelRowCache(-1)
 
 
+def test_simulate_misses_uniform_vs_callable():
+    """A per-key size callable predicts evictions a uniform size gets
+    wrong: post-shrink columns are narrower, so more of them fit."""
+    c = KernelRowCache(100)
+    seq = [1, 2, 3, 1]
+    # uniform 40-byte rows: inserting 3 evicts LRU key 1 -> 1 re-misses
+    assert c.simulate_misses(seq, 40) == [1, 2, 3, 1]
+    # per-key sizes: key 3 is a narrow post-shrink column, all fit
+    sizes = {1: 40, 2: 40, 3: 10}
+    assert c.simulate_misses(seq, lambda k: sizes[k]) == [1, 2, 3]
+    # pure lookahead: nothing was actually cached and no counters moved
+    assert len(c) == 0 and c.hits == 0 and c.misses == 0
+
+
+def test_simulate_misses_replays_current_state():
+    r = row()  # 80 bytes
+    c = KernelRowCache(r.nbytes * 2)
+    c.put(1, row(fill=1))
+    c.put(2, row(fill=2))
+    hits_before, misses_before = c.hits, c.misses
+    # 1 and 2 are resident; 3 evicts the shadow's LRU (1)
+    assert c.simulate_misses([1, 2, 3, 1], lambda _k: r.nbytes) == [3, 1]
+    # the real cache is untouched by the shadow replay
+    assert c.get(1) is not None and c.get(2) is not None
+    assert c.hits == hits_before + 2 and c.misses == misses_before
+
+
 def test_stats_dict():
     c = KernelRowCache(10_000)
     c.put(1, row())
@@ -91,3 +118,43 @@ def test_stats_dict():
     assert s["hits"] == 1
     assert s["misses"] == 1
     assert s["hit_rate"] == 0.5
+
+
+class TestKernelColumnCache:
+    def test_pinned_tier_is_budget_exempt(self):
+        c = KernelColumnCache(0, pinned_slots=2)  # zero LRU budget
+        c.put(1, row(fill=1))
+        assert c.get(1) is not None  # served from the pinned workspace
+        c.put(2, row(fill=2))
+        c.put(3, row(fill=3))  # pushes 1 out of the 2 pinned slots
+        assert c.get(1) is None  # no LRU tier to fall back to
+        assert c.get(3) is not None
+
+    def test_lru_tier_outlives_pinned(self):
+        c = KernelColumnCache(10_000, pinned_slots=2)
+        c.put(1, row(fill=1))
+        c.put(2, row(fill=2))
+        c.put(3, row(fill=3))  # 1 leaves pinned, stays in LRU
+        assert c.get(1) is not None
+
+    def test_bump_epoch_drops_everything(self):
+        c = KernelColumnCache(10_000)
+        c.put(1, row())
+        c.bump_epoch()
+        assert c.epoch == 1
+        assert c.get(1) is None
+
+    def test_request_counters_and_stats(self):
+        c = KernelColumnCache(10_000)
+        c.put(1, row())
+        c.get(1)
+        c.get(2)
+        assert (c.hits, c.misses) == (1, 1)
+        assert c.hit_rate == 0.5
+        s = c.stats()
+        assert s["hits"] == 1 and s["epoch"] == 0
+        assert s["pinned_entries"] == 1
+
+    def test_pinned_slots_floor(self):
+        with pytest.raises(ValueError):
+            KernelColumnCache(1000, pinned_slots=1)

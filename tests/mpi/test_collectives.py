@@ -299,3 +299,44 @@ def test_dup_isolates_traffic():
         return world_msg, dup_msg
 
     assert run_spmd(prog, 2).results[1] == ("on-world", "on-dup")
+
+
+@pytest.mark.parametrize("p", PS)
+def test_allreduce_maxloc_payload(p):
+    """MAXLOC with an opaque tail: the whole winning operand survives
+    the combine (typed and object paths agree)."""
+    from repro.mpi.reduceops import MAXLOC_PAYLOAD
+
+    def prog(comm):
+        v = float((comm.rank * 5) % p)
+        buf = np.array(
+            [v, float(comm.rank * 10), 100.0 + comm.rank], dtype=np.float64
+        )
+        typed = comm.allreduce_buffer(buf.copy(), MAXLOC_PAYLOAD)
+        obj = comm.allreduce(
+            (v, float(comm.rank * 10), 100.0 + comm.rank), MAXLOC_PAYLOAD
+        )
+        return typed, obj
+
+    vals = [float((r * 5) % p) for r in range(p)]
+    hi = max(vals)
+    win = min(r for r in range(p) if vals[r] == hi)
+    expect = (hi, float(win * 10), 100.0 + win)
+    for typed, obj in run_spmd(prog, p).results:
+        assert tuple(typed) == expect
+        assert tuple(obj) == expect
+
+
+def test_maxloc_payload_ties_to_smaller_loc():
+    """Equal values: the smaller loc slot (a global sample index in the
+    WSS2 election) wins, payload riding along."""
+    from repro.mpi.reduceops import MAXLOC_PAYLOAD
+
+    def prog(comm):
+        buf = np.array(
+            [7.0, float(comm.rank + 1), float(comm.rank)], dtype=np.float64
+        )
+        return comm.allreduce_buffer(buf, MAXLOC_PAYLOAD)
+
+    for out in run_spmd(prog, 5).results:
+        assert tuple(out) == (7.0, 1.0, 0.0)

@@ -22,7 +22,7 @@ from repro.mpi.reduceops import (
 def test_registry_complete():
     assert set(ALL_OPS) == {
         "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR",
-        "MINLOC", "MAXLOC", "MINLOC_MAXLOC",
+        "MINLOC", "MAXLOC", "MINLOC_MAXLOC", "MAXLOC_PAYLOAD",
     }
 
 

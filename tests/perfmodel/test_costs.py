@@ -50,3 +50,20 @@ def test_big_messages_bandwidth_bound():
     big = costs.p2p_time(M, 10**8)
     assert big > 100 * small
     assert big == pytest.approx(10**8 * M.byte_time, rel=0.01)
+
+
+def test_wss2_election_adds_one_allreduce():
+    from repro.perfmodel import costs
+    from repro.perfmodel.machine import MachineSpec
+
+    m = MachineSpec.cascade()
+    for p in (1, 2, 8, 64):
+        base = costs.election_time(m, p)
+        wss2 = costs.wss2_election_time(m, p)
+        extra = costs.allreduce_time(m, costs.WSS2_PHASE_BYTES, p)
+        assert wss2 == pytest.approx(base + extra)
+        assert costs.wss2_election_messages(m, p) == (
+            costs.allreduce_messages(p)
+        )
+    # single rank: collectives are free
+    assert costs.wss2_election_time(m, 1) == costs.election_time(m, 1)

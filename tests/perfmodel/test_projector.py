@@ -116,3 +116,83 @@ def test_shrinking_trace_projects_faster_iter_compute(traced_fit):
         project(traced_fit.trace, M, 1).iter_compute
         < project(orig.trace, M, 1).iter_compute
     )
+
+
+# ----------------------------------------------------------------------
+# WSS-aware projection
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wss_fits():
+    X, y = make_blobs(n=200, d=5, sep=1.2, noise=1.3, seed=23)
+    out = {}
+    for wss in ("mvp", "second_order", "planning_ahead"):
+        out[wss] = fit_parallel(
+            X, y, PARAMS, heuristic="multi5pc", nprocs=2, machine=M, wss=wss
+        )
+    return out
+
+
+def test_wss_mvp_matches_historical_model(wss_fits):
+    """A zero-counter trace projects identically with or without the
+    wss argument — the model reduces to one election per iteration."""
+    tr = wss_fits["mvp"].trace
+    for engine in ("packed", "legacy"):
+        a = project(tr, M, 8, engine=engine)
+        b = project(tr, M, 8, engine=engine, wss="mvp")
+        assert a.total == b.total
+
+
+def test_wss_second_order_prices_phase_b(wss_fits):
+    """Phase-B combines add communication per electing iteration, on
+    both engine shapes — the counters in the trace drive the price."""
+    import dataclasses
+
+    tr = wss_fits["second_order"].trace
+    assert tr.wss_elections > 0
+    stripped = dataclasses.replace(tr, wss_elections=0, wss_reuses=0)
+    for engine in ("packed", "legacy"):
+        plain = project(stripped, M, 8, engine=engine, wss="second_order")
+        wss2 = project(tr, M, 8, engine=engine, wss="second_order")
+        assert wss2.iter_comm > plain.iter_comm
+        assert wss2.iter_compute > plain.iter_compute  # b²/a scoring
+
+
+def test_wss_reuse_skips_elections(wss_fits):
+    """Reuse iterations elect nothing: the trace's reuse counter
+    discounts exactly that many phase-A elections."""
+    import dataclasses
+
+    from repro.perfmodel import costs
+
+    tr = wss_fits["planning_ahead"].trace
+    if tr.wss_reuses == 0:
+        pytest.skip("no reuse fired on this miniature")
+    stripped = dataclasses.replace(tr, wss_reuses=0)
+    pa = project(tr, M, 8, engine="packed", wss="planning_ahead")
+    full = project(stripped, M, 8, engine="packed", wss="planning_ahead")
+    saved = tr.wss_reuses * costs.election_time(M, 8)
+    assert pa.iter_comm == pytest.approx(full.iter_comm - saved)
+
+
+def test_wss_legacy_movement_follows_trace(wss_fits):
+    """Non-mvp legacy moves samples one at a time through the
+    stash-aware relay; the trace-counted movement undercuts the mvp
+    two-samples-every-iteration shape."""
+    tr = wss_fits["second_order"].trace
+    assert tr.pair_broadcasts < 2 * tr.iterations
+    two_per_iter = project(tr, M, 8, engine="legacy", wss="mvp")
+    counted = project(tr, M, 8, engine="legacy", wss="second_order")
+    assert counted.iter_comm < two_per_iter.iter_comm
+
+
+def test_wss_projection_close_to_simulated_vtime(wss_fits):
+    """The wss-aware model lands near the runtime's emergent virtual
+    time at the run's own p for every policy."""
+    for wss, fr in wss_fits.items():
+        t = project(fr.trace, M, 2, engine="packed", wss=wss)
+        assert t.total == pytest.approx(fr.vtime, rel=0.5), wss
+
+
+def test_wss_invalid_rejected(wss_fits):
+    with pytest.raises(ValueError):
+        project(wss_fits["mvp"].trace, M, 4, wss="newton")

@@ -95,3 +95,32 @@ def test_model_file_roundtrip(tmp_path):
         loaded.decision_function(ds.X_train),
         fr.model.decision_function(ds.X_train),
     )
+
+
+def test_train_wss_and_cache_flags(capsys):
+    rc = main([
+        "train", "--dataset", "mushrooms", "--scale", "0.02",
+        "--nprocs", "2", "--wss", "second_order",
+        "--kernel-cache-mb", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wss=second_order" in out
+    assert "elections=" in out
+    assert "cache hits=" in out
+    assert "hit-rate=" in out
+
+
+def test_train_default_hides_wss_line(capsys):
+    rc = main([
+        "train", "--dataset", "mushrooms", "--scale", "0.02",
+        "--nprocs", "1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wss=" not in out
+
+
+def test_bad_wss_rejected():
+    with pytest.raises(SystemExit):
+        main(["train", "--dataset", "mushrooms", "--wss", "newton"])
