@@ -12,6 +12,7 @@ its full-problem KKT gap exceeds the certified tolerance.
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core import SVMParams, fit_parallel, solve_sequential
 from repro.core.shrinking import Heuristic
 from repro.data import load_dataset
@@ -31,7 +32,7 @@ def _run():
     for recon, label in (("multi", "safe (multi recon)"), ("never", "unsafe (no recon)")):
         heur = Heuristic("abl", "random", max(2, ref.iterations // 20),
                          recon, "aggressive")
-        fr = fit_parallel(X, y, params, heuristic=heur, nprocs=1)
+        fr = fit_parallel(X, y, params, config=RunConfig(heuristic=heur))
         alpha_err = float(np.abs(fr.alpha - ref.alpha).max())
         rows.append(
             {

@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core import SVMParams, fit_parallel
 from repro.core import reconstruction
 from repro.kernels import RBFKernel
@@ -74,8 +75,9 @@ def _problem(seed: int = 3):
 
 def _fit(X, y, *, machine=None, comm=None):
     return fit_parallel(
-        X, y, PARAMS, heuristic="multi5pc", nprocs=NPROCS,
-        machine=machine, comm=comm,
+        X, y, PARAMS,
+        config=RunConfig(heuristic="multi5pc", nprocs=NPROCS,
+                         machine=machine, comm=comm),
     )
 
 

@@ -42,6 +42,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core import SVMParams, fit_parallel
 from repro.data import DATASETS, load_dataset
 from repro.kernels import RBFKernel
@@ -96,11 +97,12 @@ def run_train_bench(name: str, quick: bool) -> dict:
     X, y, params = _load(name, quick)
 
     t0 = time.perf_counter()
-    cold = fit_parallel(X, y, params, nprocs=NPROCS)
+    cold = fit_parallel(X, y, params, config=RunConfig(nprocs=NPROCS))
     wall_cold = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    warm = fit_parallel(X, y, params, nprocs=NPROCS, dc=DC_SPEC)
+    warm = fit_parallel(X, y, params,
+                        config=RunConfig(nprocs=NPROCS, dc=DC_SPEC))
     wall_dc = time.perf_counter() - t0
     if warm.dc is None:
         raise AssertionError("DC run produced no outer-loop stats")

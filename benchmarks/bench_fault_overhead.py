@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core import SVMParams, fit_parallel
 from repro.kernels import RBFKernel
 from repro.mpi.faults import FaultPlan, RetryPolicy
@@ -67,13 +68,13 @@ def _problem(seed: int = 0):
 
 def _one_fit(X, y, faults) -> float:
     t0 = time.perf_counter()
-    fit_parallel(X, y, PARAMS, nprocs=NPROCS, faults=faults)
+    fit_parallel(X, y, PARAMS, config=RunConfig(nprocs=NPROCS, faults=faults))
     return time.perf_counter() - t0
 
 
 def run() -> dict:
     X, y = _problem()
-    fit_parallel(X, y, PARAMS, nprocs=NPROCS)  # warm-up (JIT-free, but caches)
+    fit_parallel(X, y, PARAMS, config=RunConfig(nprocs=NPROCS))  # warm-up (JIT-free, but caches)
 
     # interleave the three configurations so they see the same machine
     # state; min-of-N discards upward scheduling noise
@@ -89,8 +90,9 @@ def run() -> dict:
     overhead = idle / baseline - 1.0
 
     # correctness side-condition: the idle engine is bitwise invisible
-    ref = fit_parallel(X, y, PARAMS, nprocs=NPROCS)
-    chk = fit_parallel(X, y, PARAMS, nprocs=NPROCS, faults=IDLE_PLAN)
+    ref = fit_parallel(X, y, PARAMS, config=RunConfig(nprocs=NPROCS))
+    chk = fit_parallel(X, y, PARAMS,
+                       config=RunConfig(nprocs=NPROCS, faults=IDLE_PLAN))
     assert np.array_equal(ref.alpha, chk.alpha)
     assert chk.model.beta == ref.model.beta and chk.vtime == ref.vtime
 

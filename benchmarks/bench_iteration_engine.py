@@ -26,6 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core import SVMParams, fit_parallel
 from repro.data import DATASETS, load_dataset
 from repro.kernels import RBFKernel
@@ -61,7 +62,8 @@ def _time_engine(X, y, params, engine: str, repeats: int):
     for _ in range(repeats):
         t0 = time.perf_counter()
         fr = fit_parallel(
-            X, y, params, heuristic=HEURISTIC, nprocs=NPROCS, engine=engine
+            X, y, params,
+            config=RunConfig(heuristic=HEURISTIC, nprocs=NPROCS, engine=engine),
         )
         best_wall = min(best_wall, time.perf_counter() - t0)
     return fr, best_wall

@@ -9,6 +9,7 @@ backing DESIGN.md's calibration notes.
 import numpy as np
 import pytest
 
+from repro.config import RunConfig
 from repro.core import SVMParams, fit_parallel
 from repro.core.shrinking import HEURISTICS
 from repro.kernels import RBFKernel
@@ -90,6 +91,6 @@ def test_solver_end_to_end_small(benchmark, heuristic):
     params = SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-3)
 
     def job():
-        return fit_parallel(Xs, y, params, heuristic=heuristic, nprocs=1)
+        return fit_parallel(Xs, y, params, config=RunConfig(heuristic=heuristic))
 
     benchmark.pedantic(job, iterations=1, rounds=3, warmup_rounds=1)

@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import RunConfig
 from repro.core import SVMParams, fit_parallel
 from repro.data import DATASETS, load_dataset
 from repro.kernels import RBFKernel
@@ -68,10 +69,12 @@ def _run(X, y, params, wss: str, cache_mb: float):
         X,
         y,
         params,
-        heuristic=HEURISTIC,
-        nprocs=NPROCS,
-        wss=wss,
-        kernel_cache_mb=cache_mb,
+        config=RunConfig(
+            heuristic=HEURISTIC,
+            nprocs=NPROCS,
+            wss=wss,
+            kernel_cache_mb=cache_mb,
+        ),
     )
     wall = time.perf_counter() - t0
     tr = fr.stats.trace

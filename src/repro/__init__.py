@@ -20,13 +20,16 @@ Persistence: :func:`save_model` / :func:`load_model` (bare models) and
 ``SVC.save`` / ``SVC.load`` / ``MultiClassSVC.save`` /
 ``MultiClassSVC.load`` (fitted classifiers).  Serving:
 :func:`serve_requests` with :class:`BatchPolicy` (see :mod:`repro.serve`).
-Run-time knobs travel in one :class:`RunConfig`.
+Streaming: :class:`IncrementalSVC` (``partial_fit`` / ``forget``),
+:class:`StreamScenario` and :func:`run_stream` (see :mod:`repro.stream`).
+Run-time knobs travel in one :class:`RunConfig`; the per-call keyword
+shims still work but emit :class:`DeprecationWarning`.
 
 Deep imports (``repro.core.svc.SVC`` etc.) keep working — the facade
 re-exports, it does not move anything.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import mpi  # noqa: F401  (re-exported subsystem)
 from .config import RunConfig
@@ -44,6 +47,7 @@ from .core import (
     train,
 )
 from . import serve  # noqa: F401  (re-exported subsystem)
+from . import stream  # noqa: F401  (re-exported subsystem)
 from .serve import (
     BatchPolicy,
     FleetResult,
@@ -56,11 +60,13 @@ from .serve import (
     serve_fleet,
     serve_requests,
 )
+from .stream import IncrementalSVC, StreamScenario, run_stream
 
 __all__ = [
     "BatchPolicy",
     "DCConfig",
     "FleetResult",
+    "IncrementalSVC",
     "KillReplica",
     "ModelRegistry",
     "MultiClassSVC",
@@ -69,6 +75,7 @@ __all__ = [
     "SVMModel",
     "ServeResult",
     "ServeStats",
+    "StreamScenario",
     "SwapModel",
     "TenantQuota",
     "__version__",
@@ -78,9 +85,11 @@ __all__ = [
     "load_model",
     "mpi",
     "predict_parallel",
+    "run_stream",
     "save_model",
     "serve",
     "serve_fleet",
     "serve_requests",
+    "stream",
     "train",
 ]

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..config import RunConfig
 from ..core import HEURISTICS, SVMParams, fit_parallel, solve_libsvm_style
 from ..data import get_entry, load_dataset
 from ..kernels import RBFKernel
@@ -103,9 +104,9 @@ def run_table2(
     params = SVMParams(
         C=entry.C, kernel=RBFKernel(entry.gamma), eps=1e-3, max_iter=2_000_000
     )
+    run_cfg = RunConfig(heuristic="original", nprocs=nprocs, machine=machine)
     reference = fit_parallel(
-        data.X_train, data.y_train, params,
-        heuristic="original", nprocs=nprocs, machine=machine,
+        data.X_train, data.y_train, params, config=run_cfg
     )
     rows = []
     for name, heur in HEURISTICS.items():
@@ -114,7 +115,7 @@ def run_table2(
             if name == "original"
             else fit_parallel(
                 data.X_train, data.y_train, params,
-                heuristic=name, nprocs=nprocs, machine=machine,
+                config=run_cfg.replace(heuristic=name),
             )
         )
         acc_ok = bool(
@@ -185,8 +186,8 @@ def run_ablation_subsequent(
     for policy in ("active_set", "initial"):
         heur = HEURISTICS["multi5pc"].with_subsequent(policy)
         fr = fit_parallel(
-            data.X_train, data.y_train, params, heuristic=heur, nprocs=1,
-            machine=machine,
+            data.X_train, data.y_train, params,
+            config=RunConfig(heuristic=heur, machine=machine),
         )
         rows.append(
             {
@@ -223,8 +224,8 @@ def run_ablation_recon_eps(
             max_iter=2_000_000, shrink_eps_factor=factor,
         )
         fr = fit_parallel(
-            data.X_train, data.y_train, params, heuristic="multi5pc",
-            nprocs=1, machine=machine,
+            data.X_train, data.y_train, params,
+            config=RunConfig(heuristic="multi5pc", machine=machine),
         )
         rows.append(
             {

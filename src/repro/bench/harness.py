@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..config import RunConfig
 from ..core import SVMParams, fit_parallel, solve_libsvm_style
 from ..core.solver import FitResult
 from ..data import DatasetEntry, get_entry, load_dataset
@@ -156,11 +157,11 @@ def run_speedup_experiment(
 
     # the Original run pins the iteration budget; with the deterministic
     # engine every safe-shrinking heuristic replays the same sequence
-    origin_fit = fit_parallel(
-        data.X_train, data.y_train, params,
+    run_cfg = RunConfig(
         heuristic="original", nprocs=measure_procs, machine=machine,
         faults=faults,
     )
+    origin_fit = fit_parallel(data.X_train, data.y_train, params, config=run_cfg)
     paper_iters_est = (
         float(entry.facts.iterations)
         if entry.facts.iterations
@@ -181,8 +182,7 @@ def run_speedup_experiment(
         )
         fits[h] = fit_parallel(
             data.X_train, data.y_train, params,
-            heuristic=heur, nprocs=measure_procs, machine=machine,
-            faults=faults,
+            config=run_cfg.replace(heuristic=heur),
         )
     if "original" not in fits:
         fits["original"] = origin_fit
@@ -285,8 +285,9 @@ def run_accuracy_experiment(
     )
     fr = fit_parallel(
         data.X_train, data.y_train, params,
-        heuristic=heuristic, nprocs=nprocs, machine=machine,
-        faults=faults,
+        config=RunConfig(
+            heuristic=heuristic, nprocs=nprocs, machine=machine, faults=faults
+        ),
     )
     ours = fr.model.accuracy(data.X_test, data.y_test)
 

@@ -6,6 +6,7 @@
     python -m repro train   --train-file data.libsvm --C 10 --sigma-sq 4
     python -m repro predict --model model.json --data test.libsvm
     python -m repro serve-bench [--quick] [--fleet] [--out BENCH_serve.json]
+    python -m repro stream-bench [--quick] [--out BENCH_stream.json]
     python -m repro info
     python -m repro bench   fig6 table5
 
@@ -14,6 +15,11 @@ of the paper's ten datasets) or a libsvm-format file; it prints the
 solver statistics the paper reports (iterations, SV count, shrink and
 reconstruction activity, modeled time on the Cascade-like cluster) and
 can persist the trained model as JSON.
+
+The run-time knobs (``--nprocs``, ``--heuristic``, ``--engine``,
+``--comm``, ``--wss``, ``--kernel-cache-mb``, ``--dc``, ``--faults``,
+``--machine``) are registered once by :func:`add_runconfig_args` and
+shared verbatim by ``train``, ``serve-bench`` and ``stream-bench``.
 """
 
 from __future__ import annotations
@@ -54,6 +60,63 @@ def _machine(name: str) -> MachineSpec:
     )
 
 
+def add_runconfig_args(parser) -> None:
+    """Register the shared :class:`RunConfig` flags on ``parser``.
+
+    ``train``, ``serve-bench`` and ``stream-bench`` all call this, so
+    the run-knob surface stays flag-identical across subcommands; turn
+    the parsed namespace back into a config with
+    :func:`runconfig_from_args`.
+    """
+    parser.add_argument("--nprocs", type=int, default=1)
+    parser.add_argument("--machine", default="cascade",
+                        help="cascade | python-host | multinode | "
+                             "multinode:<ranks_per_node>")
+    parser.add_argument("--heuristic", default="multi5pc",
+                        choices=sorted(HEURISTICS))
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault-injection spec for the "
+                             "simulated runtime, e.g. "
+                             "'seed=7;drop:src=0,dest=1,tag=3,nth=1' "
+                             "(kinds: delay drop dup corrupt stall kill)")
+    parser.add_argument("--engine", default=None,
+                        choices=("packed", "legacy"),
+                        help="iteration engine (default: packed, or the "
+                             "REPRO_SVM_ENGINE environment variable)")
+    parser.add_argument("--comm", default=None,
+                        choices=("flat", "hierarchical"),
+                        help="collective suite (default: flat, or the "
+                             "REPRO_SVM_COMM environment variable)")
+    parser.add_argument("--wss", default=None,
+                        choices=("mvp", "second_order", "planning_ahead"),
+                        help="working-set selection policy (default: mvp, "
+                             "or the REPRO_SVM_WSS environment variable)")
+    parser.add_argument("--kernel-cache-mb", type=float, default=None,
+                        metavar="MB",
+                        help="per-rank kernel-column cache budget in MiB "
+                             "(default: 0 = off; second_order enables a "
+                             "minimal provider cache regardless)")
+    parser.add_argument("--dc", default=None, metavar="SPEC",
+                        help="divide-and-conquer outer loop: cluster count "
+                             "('4') or knobs ('clusters=4,levels=2,seed=7'); "
+                             "the sub-duals warm-start the exact solve")
+
+
+def runconfig_from_args(args) -> RunConfig:
+    """Build a :class:`RunConfig` from :func:`add_runconfig_args` flags."""
+    return RunConfig(
+        nprocs=args.nprocs,
+        heuristic=args.heuristic,
+        engine=args.engine,
+        comm=args.comm,
+        machine=_machine(args.machine),
+        faults=args.faults,
+        dc=args.dc,
+        wss=args.wss,
+        kernel_cache_mb=args.kernel_cache_mb or 0.0,
+    )
+
+
 def _add_train(sub) -> None:
     p = sub.add_parser("train", help="train a distributed shrinking SVM")
     src = p.add_mutually_exclusive_group(required=True)
@@ -67,34 +130,8 @@ def _add_train(sub) -> None:
     p.add_argument("--gamma", type=float, default=None)
     p.add_argument("--sigma-sq", type=float, default=None)
     p.add_argument("--eps", type=float, default=1e-3)
-    p.add_argument("--heuristic", default="multi5pc",
-                   choices=sorted(HEURISTICS))
-    p.add_argument("--nprocs", type=int, default=1)
-    p.add_argument("--machine", default="cascade")
     p.add_argument("--max-iter", type=int, default=10_000_000)
-    p.add_argument("--faults", default=None, metavar="SPEC",
-                   help="deterministic fault-injection spec for the simulated "
-                        "runtime, e.g. 'seed=7;drop:src=0,dest=1,tag=3,nth=1' "
-                        "(kinds: delay drop dup corrupt stall kill)")
-    p.add_argument("--engine", default=None, choices=("packed", "legacy"),
-                   help="iteration engine (default: packed, or the "
-                        "REPRO_SVM_ENGINE environment variable)")
-    p.add_argument("--comm", default=None, choices=("flat", "hierarchical"),
-                   help="collective suite (default: flat, or the "
-                        "REPRO_SVM_COMM environment variable)")
-    p.add_argument("--wss", default=None,
-                   choices=("mvp", "second_order", "planning_ahead"),
-                   help="working-set selection policy (default: mvp, or "
-                        "the REPRO_SVM_WSS environment variable)")
-    p.add_argument("--kernel-cache-mb", type=float, default=None,
-                   metavar="MB",
-                   help="per-rank kernel-column cache budget in MiB "
-                        "(default: 0 = off; second_order enables a "
-                        "minimal provider cache regardless)")
-    p.add_argument("--dc", default=None, metavar="SPEC",
-                   help="divide-and-conquer outer loop: cluster count "
-                        "('4') or knobs ('clusters=4,levels=2,seed=7'); "
-                        "the sub-duals warm-start the exact solve")
+    add_runconfig_args(p)
     p.add_argument("--model-out", help="write the trained model (JSON)")
 
 
@@ -124,6 +161,20 @@ def _add_serve_bench(sub) -> None:
     p.add_argument("--replicas", type=int, default=None,
                    help="with --fleet: restrict the sweep to one replica "
                         "count")
+    add_runconfig_args(p)
+
+
+def _add_stream_bench(sub) -> None:
+    p = sub.add_parser(
+        "stream-bench",
+        help="run the incremental-refit-vs-cold-retrain drift benchmark",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="short stream, skip the eval-reduction bar "
+                        "(every refit is still certified equivalent)")
+    p.add_argument("--out", default=None,
+                   help="report path (default: ./BENCH_stream.json)")
+    add_runconfig_args(p)
 
 
 def _add_info(sub) -> None:
@@ -157,17 +208,7 @@ def cmd_train(args) -> int:
         n_feat = X_train.shape[1]
         X_test, y_test = load_libsvm(args.test_file, n_features=n_feat)
 
-    run_config = RunConfig(
-        nprocs=args.nprocs,
-        heuristic=args.heuristic,
-        engine=args.engine,
-        comm=args.comm,
-        machine=_machine(args.machine),
-        faults=args.faults,
-        dc=args.dc,
-        wss=args.wss,
-        kernel_cache_mb=args.kernel_cache_mb or 0.0,
-    )
+    run_config = runconfig_from_args(args)
     clf = SVC(
         C=C,
         gamma=args.gamma,
@@ -278,8 +319,9 @@ def cmd_serve_bench(args) -> int:
 
     from .serve import benchmark as B
 
+    cfg = runconfig_from_args(args)
     if args.fleet:
-        report = B.run_fleet_bench(quick=args.quick)
+        report = B.run_fleet_bench(quick=args.quick, config=cfg)
         if args.replicas is not None:
             report["scenarios"] = [
                 s for s in report["scenarios"]
@@ -289,7 +331,7 @@ def cmd_serve_bench(args) -> int:
         B.check_fleet_bars(report)
         default_out = "BENCH_serve_fleet.json"
     else:
-        report = B.run_serve_bench(quick=args.quick)
+        report = B.run_serve_bench(quick=args.quick, config=cfg)
         print(B.format_report(report))
         if not args.quick:
             B.check_bars(report)
@@ -297,6 +339,27 @@ def cmd_serve_bench(args) -> int:
     out = Path(args.out if args.out is not None else default_out)
     # allow_nan=False: the report convention maps non-finite floats to
     # null, so strict JSON must round-trip (satellite bugfix guarantee)
+    out.write_text(
+        json.dumps(report, indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_stream_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .stream import benchmark as SB
+
+    report = SB.run_stream_bench(
+        quick=args.quick, config=runconfig_from_args(args)
+    )
+    print(SB.format_report(report))
+    if not args.quick:
+        SB.check_bars(report)
+    out = Path(args.out if args.out is not None else "BENCH_stream.json")
     out.write_text(
         json.dumps(report, indent=2, allow_nan=False) + "\n",
         encoding="utf-8",
@@ -320,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_train(sub)
     _add_predict(sub)
     _add_serve_bench(sub)
+    _add_stream_bench(sub)
     _add_info(sub)
     _add_bench(sub)
     args = parser.parse_args(argv)
@@ -327,6 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": cmd_train,
         "predict": cmd_predict,
         "serve-bench": cmd_serve_bench,
+        "stream-bench": cmd_stream_bench,
         "info": cmd_info,
         "bench": cmd_bench,
     }[args.command](args)

@@ -23,6 +23,7 @@ call sites should pass ``config=``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Optional
 
@@ -164,13 +165,42 @@ class RunConfig:
         }
 
 
-def resolve_config(config: Optional[RunConfig], **overrides: Any) -> RunConfig:
+def resolve_config(
+    config: Optional[RunConfig],
+    *,
+    _entry: Optional[str] = None,
+    **overrides: Any,
+) -> RunConfig:
     """The effective :class:`RunConfig` for one call.
 
     ``config=None`` starts from the defaults; explicitly passed keywords
     (non-``None``) override the config's fields.  This is the single
     resolution rule shared by ``fit_parallel``, ``SVC``,
     ``decision_function_parallel``, ``serve_requests`` and the CLI.
+
+    ``_entry`` names the public entry point doing the resolving.  When
+    set and any legacy per-call keyword is in effect, a
+    :class:`DeprecationWarning` points the caller at the consolidated
+    path — ``config=RunConfig(...)`` or ``config.replace(**overrides)``.
+    The shims keep working (the warning is the whole migration cost);
+    internal call sites pass a ready-made config and never warn.
     """
     base = config if config is not None else RunConfig()
+    if _entry is not None:
+        effective = sorted(
+            name
+            for name, value in overrides.items()
+            if (bool(value) if name == "trace" else value is not None)
+        )
+        if effective:
+            warnings.warn(
+                f"{_entry}: the per-call keyword shim"
+                f"{'s' if len(effective) > 1 else ''} "
+                f"{', '.join(effective)} "
+                f"{'are' if len(effective) > 1 else 'is'} deprecated; "
+                f"pass config=RunConfig(...) or "
+                f"config=cfg.replace({effective[0]}=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
     return base.merged(**overrides)

@@ -14,6 +14,12 @@ Layers, bottom-up:
 
 from ..config import RunConfig
 from .dcsvm import DCConfig, DCStats, fit_dc, partition_samples, project_feasible
+from .equiv import (
+    assert_model_equiv,
+    check_kkt,
+    dense_kernel_matrix,
+    held_out_grid,
+)
 from .libsvm_smo import LibsvmResult, solve_libsvm_style
 from .model import SVMModel, load_model, save_model
 from .multiclass import MultiClassSVC
@@ -70,7 +76,10 @@ __all__ = [
     "SVMParams",
     "SolveTrace",
     "WORST_HEURISTIC",
+    "assert_model_equiv",
+    "check_kkt",
     "cross_val_score",
+    "dense_kernel_matrix",
     "decision_function_parallel",
     "fit_dc",
     "fit_parallel",
@@ -79,6 +88,7 @@ __all__ = [
     "project_feasible",
     "get_heuristic",
     "grid_search",
+    "held_out_grid",
     "kfold_indices",
     "load_model",
     "predict_parallel",

@@ -839,6 +839,8 @@ def fit_dc(X, y, params: SVMParams, *, dc: Any = None, config=None, **kwargs):
     the returned :class:`~repro.core.solver.FitResult` carries the
     outer-loop summary in ``.dc``.
     """
+    from ..config import resolve_config
     from .solver import fit_parallel
 
-    return fit_parallel(X, y, params, config=config, dc=dc or DCConfig(), **kwargs)
+    cfg = resolve_config(config, dc=dc or DCConfig())
+    return fit_parallel(X, y, params, config=cfg, **kwargs)

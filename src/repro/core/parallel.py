@@ -94,12 +94,19 @@ class RankSolver:
         *,
         wss="mvp",
         cache_bytes: int = 0,
+        warm_seeded: bool = False,
     ) -> None:
         self.comm = comm
         self.blk = blk
         self.part = part
         self.params = params
         self.heur = heuristic
+        #: the block arrived with trusted (exact) gradients: inactive
+        #: samples are a deliberate warm-start active-set seed, not a
+        #: stale-α marker, so the solve skips the initial
+        #: reconstruction ring and lets the heuristic's normal
+        #: end-of-phase reconstruction verify them later
+        self.warm_seeded = warm_seeded
         self.kernel: Kernel = params.kernel
         self.C = params.box_for(blk.y)  # per-sample box constraints
         self.trace = RankTrace(rank=comm.rank, n_local=blk.n_local)
@@ -564,12 +571,16 @@ class RankSolver:
 
     def solve(self) -> RankResult:
         params, heur = self.params, self.heur
-        if self.any_shrunk_global():
+        if not self.warm_seeded and self.any_shrunk_global():
             # warm start: blocks arrive with seeded alphas and every
             # sample marked stale; one reconstruction ring builds the
             # exact initial gradients from the seed
             viol = self.reconstruct()
         else:
+            # cold start, or a warm-seeded block whose gradients are
+            # exact by contract (warm_start_gamma): go straight to
+            # selection — any seeded-inactive samples re-enter through
+            # the heuristic's ordinary reconstruction passes below
             viol = self.select()
 
         if heur.reconstruction == "none":
@@ -700,10 +711,11 @@ class PackedRankSolver(RankSolver):
         *,
         wss="mvp",
         cache_bytes: int = 0,
+        warm_seeded: bool = False,
     ) -> None:
         super().__init__(
             comm, blk, part, params, heuristic,
-            wss=wss, cache_bytes=cache_bytes,
+            wss=wss, cache_bytes=cache_bytes, warm_seeded=warm_seeded,
         )
         self.compact = CompactActiveSet(blk, self.C)
         self._resident: dict = {}
@@ -1060,6 +1072,7 @@ def solve_rank(
     *,
     wss: str = "mvp",
     cache_bytes: int = 0,
+    warm_seeded: bool = False,
 ) -> RankResult:
     """Entry point executed by :func:`repro.mpi.run_spmd` on each rank."""
     try:
@@ -1069,5 +1082,6 @@ def solve_rank(
             f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
         ) from None
     return cls(
-        comm, blk, part, params, heuristic, wss=wss, cache_bytes=cache_bytes
+        comm, blk, part, params, heuristic, wss=wss, cache_bytes=cache_bytes,
+        warm_seeded=warm_seeded,
     ).solve()

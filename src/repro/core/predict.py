@@ -52,10 +52,14 @@ def decision_function_parallel(
     simulated ranks (block-row partition of the test set).
 
     Prefer passing one :class:`~repro.config.RunConfig` via ``config=``;
-    the ``nprocs``/``machine`` keywords remain as back-compat shims and
-    override the config when given explicitly.
+    the ``nprocs``/``machine`` keywords remain as back-compat shims,
+    override the config when given explicitly, and emit a
+    :class:`DeprecationWarning`.
     """
-    cfg = resolve_config(config, nprocs=nprocs, machine=machine)
+    cfg = resolve_config(
+        config, _entry="decision_function_parallel",
+        nprocs=nprocs, machine=machine,
+    )
     nprocs, machine = cfg.nprocs, cfg.machine
     X = _as_csr(X, model.sv_X.shape[1])
     n = X.shape[0]

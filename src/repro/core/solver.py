@@ -59,6 +59,12 @@ class FitResult:
     beta_low: float
     #: divide-and-conquer outer-loop summary (None for a cold start)
     dc: Optional[DCStats] = None
+    #: final gradient vector γ = K(αy) − y in global order.  Every
+    #: shrinking heuristic that reconstructs at the end (all but the
+    #: "never" variants) exits with this exact; :mod:`repro.stream`
+    #: carries it into the next ``partial_fit`` to skip the warm-start
+    #: reconstruction ring.
+    gamma: Optional[np.ndarray] = None
 
     @property
     def vtime(self) -> float:
@@ -85,6 +91,8 @@ def fit_parallel(
     machine: Optional[MachineSpec] = None,
     deadlock_timeout: Optional[float] = None,
     warm_start_alpha: Optional[np.ndarray] = None,
+    warm_start_gamma: Optional[np.ndarray] = None,
+    warm_start_active: Optional[np.ndarray] = None,
     faults=None,
     engine: Optional[str] = None,
     wss: Optional[str] = None,
@@ -110,6 +118,16 @@ def fit_parallel(
     are rebuilt from the seed with one gradient-reconstruction ring, so
     warm starting costs O(|{α>0}|·N/p) once instead of re-running the
     full iteration history.
+
+    ``warm_start_gamma`` (requires ``warm_start_alpha``) additionally
+    seeds the gradient vector γ = K(αy) − y, skipping that
+    reconstruction ring entirely: every sample starts active with its
+    gradient taken on faith from the caller.  Only sound when the γ is
+    *exact* for the seeded α — e.g. carried out of a previous
+    :class:`FitResult` whose heuristic reconstructs at the end (all but
+    the ``"never"`` variants), extended with freshly computed rows for
+    appended samples.  The streaming subsystem (:mod:`repro.stream`)
+    is the intended caller.
 
     ``faults`` injects a deterministic adversarial delivery schedule
     into the simulated runtime (a
@@ -158,9 +176,20 @@ def fit_parallel(
     sub-duals.  The final model still comes from the exact solver — DC
     changes where the solve *starts*, never where it converges.
     Mutually exclusive with an explicit ``warm_start_alpha``.
+
+    ``warm_start_active`` (requires ``warm_start_gamma``) additionally
+    seeds the *active set*: a boolean mask of the samples the first
+    solve phase iterates over (typically the previous support vectors
+    plus a freshly appended batch).  Masked-out samples start shrunk
+    with their seeded-exact gradients on record; the heuristic's
+    ordinary end-of-phase reconstruction re-admits and verifies them,
+    so only heuristics that reconstruct (``"single"``/``"multi"``
+    modes) accept the seed — the solve still converges on the full
+    problem, it just pays narrow iterations first.
     """
     cfg = resolve_config(
         config,
+        _entry="fit_parallel",
         heuristic=heuristic,
         nprocs=nprocs,
         machine=machine,
@@ -243,18 +272,62 @@ def fit_parallel(
             # a narrower dtype's rounding residual, within its slack:
             # repair it exactly instead of rejecting the seed
             warm_start_alpha = project_feasible(warm_start_alpha, y, box)
+        if warm_start_gamma is not None:
+            warm_start_gamma = np.asarray(warm_start_gamma, dtype=np.float64)
+            if warm_start_gamma.shape != (n,):
+                raise ValueError(
+                    f"warm_start_gamma has shape {warm_start_gamma.shape}, "
+                    f"expected ({n},)"
+                )
+        if warm_start_active is not None:
+            if warm_start_gamma is None:
+                raise ValueError(
+                    "warm_start_active requires warm_start_gamma: shrunk "
+                    "samples keep their seeded gradients on record"
+                )
+            warm_start_active = np.asarray(warm_start_active, dtype=bool)
+            if warm_start_active.shape != (n,):
+                raise ValueError(
+                    f"warm_start_active has shape {warm_start_active.shape},"
+                    f" expected ({n},)"
+                )
+            if not warm_start_active.any():
+                raise ValueError("warm_start_active selects no samples")
+            if heur.reconstruction not in ("single", "multi"):
+                raise ValueError(
+                    f"warm_start_active needs a reconstructing heuristic "
+                    f"to re-admit the masked-out samples; "
+                    f"{heur.name!r} has reconstruction="
+                    f"{heur.reconstruction!r}"
+                )
         for rank, blk in enumerate(blocks):
             lo, hi = part.bounds(rank)
             blk.alpha[:] = np.clip(warm_start_alpha[lo:hi], 0.0, box[lo:hi])
-            # mark every sample stale: the first reconstruction pass in
-            # solve_rank rebuilds gradients from the seeded alphas
-            blk.active[:] = False
-            blk.invalidate_active()
+            if warm_start_gamma is not None:
+                # gradients supplied: seed blk.gamma directly (gamma0
+                # stays −y so any later reconstruction still rebuilds
+                # correctly); the solver goes straight to selection
+                # without the warm-start reconstruction ring
+                blk.gamma[:] = warm_start_gamma[lo:hi]
+                if warm_start_active is not None:
+                    blk.active[:] = warm_start_active[lo:hi]
+                    blk.invalidate_active()
+            else:
+                # mark every sample stale: the first reconstruction pass
+                # in solve_rank rebuilds gradients from the seeded alphas
+                blk.active[:] = False
+                blk.invalidate_active()
+    elif warm_start_gamma is not None:
+        raise ValueError("warm_start_gamma requires warm_start_alpha")
+    elif warm_start_active is not None:
+        raise ValueError("warm_start_active requires warm_start_alpha")
+
+    warm_seeded = warm_start_gamma is not None
 
     def entry(comm):
         return solve_rank(
             comm, blocks[comm.rank], part, params, heur, engine,
-            wss=wss, cache_bytes=cache_bytes,
+            wss=wss, cache_bytes=cache_bytes, warm_seeded=warm_seeded,
         )
 
     t0 = time.perf_counter()
@@ -303,4 +376,5 @@ def fit_parallel(
         beta_up=results[0].beta_up,
         beta_low=results[0].beta_low,
         dc=dc_stats,
+        gamma=np.concatenate([r.gamma for r in results]),
     )

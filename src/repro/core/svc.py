@@ -97,8 +97,9 @@ class SVC:
         A :class:`~repro.config.RunConfig` bundling the run-time knobs
         (``nprocs``, ``heuristic``, ``engine``, ``machine``, ``faults``,
         tracing).  The individual keywords above remain as back-compat
-        shims — when passed explicitly they override the config's fields.
-        New call sites should prefer ``config=``.
+        shims — when passed explicitly they override the config's fields
+        and emit a :class:`DeprecationWarning`.  New call sites should
+        pass ``config=`` (build overrides with ``cfg.replace(...)``).
     """
 
     def __init__(
@@ -126,6 +127,7 @@ class SVC:
             raise ValueError("give either gamma or sigma_sq, not both")
         cfg = resolve_config(
             config,
+            _entry="SVC",
             heuristic=heuristic,
             nprocs=nprocs,
             machine=machine,
@@ -406,8 +408,18 @@ class SVC:
         cw = params.get("class_weight")
         if isinstance(cw, dict):
             params["class_weight"] = {k: v for k, v in cw["pairs"]}
+        # run-time knobs travel through RunConfig, not the keyword shims
+        run_knobs = {
+            k: params.pop(k)
+            for k in ("heuristic", "nprocs", "engine", "dc")
+            if params.get(k) is not None
+        }
         model = model_from_jsonable(doc["model"])
-        clf = cls(kernel=model.kernel, **params)
+        clf = cls(
+            kernel=model.kernel,
+            config=RunConfig().merged(**run_knobs),
+            **params,
+        )
         clf.model_ = model
         clf.classes_ = np.asarray(
             doc["classes"]["values"], dtype=np.dtype(doc["classes"]["dtype"])

@@ -30,6 +30,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..config import RunConfig, resolve_config
 from ..kernels import Kernel, RBFKernel, make_kernel
 from ..mpi import SpmdResult, run_spmd
 from ..perfmodel.machine import MachineSpec
@@ -68,16 +69,26 @@ def fit_svr_parallel(
     params: SVMParams,
     *,
     epsilon: float = 0.1,
-    heuristic: Union[str, Heuristic] = "multi5pc",
-    nprocs: int = 1,
+    config: Optional[RunConfig] = None,
+    heuristic: Optional[Union[str, Heuristic]] = None,
+    nprocs: Optional[int] = None,
     machine: Optional[MachineSpec] = None,
     comm: Optional[str] = None,
 ) -> SVRFitResult:
     """Train ε-SVR with the distributed shrinking solver.
 
     ``params.eps`` is the SMO optimality tolerance; ``epsilon`` is the
-    regression tube half-width.
+    regression tube half-width.  Run-time knobs ride in one
+    :class:`~repro.config.RunConfig` via ``config=``; the individual
+    keywords remain as deprecated back-compat shims that override the
+    config when given explicitly.
     """
+    cfg = resolve_config(
+        config, _entry="fit_svr_parallel",
+        heuristic=heuristic, nprocs=nprocs, machine=machine, comm=comm,
+    )
+    heuristic, nprocs = cfg.heuristic, cfg.nprocs
+    machine, comm = cfg.machine, cfg.comm
     if epsilon < 0:
         raise ValueError(f"epsilon (tube width) must be >= 0, got {epsilon}")
     if params.weighted:
@@ -151,23 +162,29 @@ class SVR:
         sigma_sq: Optional[float] = None,
         eps: float = 1e-3,
         epsilon: float = 0.1,
-        heuristic: Union[str, Heuristic] = "multi5pc",
-        nprocs: int = 1,
+        heuristic: Optional[Union[str, Heuristic]] = None,
+        nprocs: Optional[int] = None,
         machine: Optional[MachineSpec] = None,
         max_iter: int = 10_000_000,
+        config: Optional[RunConfig] = None,
     ) -> None:
         if gamma is not None and sigma_sq is not None:
             raise ValueError("give either gamma or sigma_sq, not both")
+        cfg = resolve_config(
+            config, _entry="SVR",
+            heuristic=heuristic, nprocs=nprocs, machine=machine,
+        )
         self.C = C
         self.kernel = kernel
         self.gamma = gamma
         self.sigma_sq = sigma_sq
         self.eps = eps
         self.epsilon = epsilon
-        self.heuristic = heuristic
-        self.nprocs = nprocs
-        self.machine = machine
+        self.heuristic = cfg.heuristic
+        self.nprocs = cfg.nprocs
+        self.machine = cfg.machine
         self.max_iter = max_iter
+        self.config = cfg
         self.model_: Optional[SVMModel] = None
         self.fit_result_: Optional[SVRFitResult] = None
 
@@ -194,9 +211,11 @@ class SVR:
         self.fit_result_ = fit_svr_parallel(
             X, y, params,
             epsilon=self.epsilon,
-            heuristic=self.heuristic,
-            nprocs=self.nprocs,
-            machine=self.machine,
+            config=self.config.replace(
+                heuristic=self.heuristic,
+                nprocs=self.nprocs,
+                machine=self.machine,
+            ),
         )
         self.model_ = self.fit_result_.model
         return self

@@ -17,18 +17,27 @@ from .registry import (
     load_dataset_from_files,
 )
 from .scaling import MinMaxScaler
-from .synthetic import Dataset, SyntheticSpec, generate, two_gaussians
+from .synthetic import (
+    Dataset,
+    DriftStreamSpec,
+    SyntheticSpec,
+    drift_stream,
+    generate,
+    two_gaussians,
+)
 
 __all__ = [
     "DATASETS",
     "Dataset",
     "DatasetEntry",
+    "DriftStreamSpec",
     "LARGE_DATASETS",
     "MinMaxScaler",
     "PaperFacts",
     "SyntheticSpec",
     "TABLE4_DATASETS",
     "TABLE5_DATASETS",
+    "drift_stream",
     "generate",
     "get_entry",
     "load_dataset",

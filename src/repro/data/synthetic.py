@@ -24,8 +24,9 @@ kernel width in the same operating regime it had on the real data.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -298,6 +299,90 @@ def generate(spec: SyntheticSpec) -> Dataset:
         X_test=X.take_rows(te) if spec.n_test else None,
         y_test=y[te] if spec.n_test else None,
     )
+
+
+# ----------------------------------------------------------------------
+# streaming / concept drift (repro.stream)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DriftStreamSpec:
+    """A seeded stream of labeled batches with controllable concept drift.
+
+    Samples are standard-Gaussian rows; the label is the sign of the
+    margin against a separating direction ``w_t`` living in the first
+    two coordinates, blurred by ``noise`` (overlap near the boundary,
+    so a realistic support-vector fraction).  Two drift schedules:
+
+    - ``"rotate"``: ``w_t`` rotates by ``rotate_per_batch`` radians per
+      batch — the decision boundary turns under the learner, so old
+      samples gradually contradict the current concept;
+    - ``"label_flip"``: the boundary stays put, but from batch
+      ``flip_start`` onward each new label flips with probability
+      ``flip_fraction`` — abrupt label corruption;
+    - ``"none"``: a stationary stream (the control).
+
+    Generation is deterministic per ``seed``: the same spec always
+    yields bitwise-identical batches.
+    """
+
+    n_batches: int = 12
+    batch_size: int = 40
+    n_features: int = 3
+    drift: str = "rotate"  # "rotate" | "label_flip" | "none"
+    rotate_per_batch: float = math.pi / 24.0
+    flip_fraction: float = 0.15
+    flip_start: int = 4
+    noise: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_batches < 1:
+            raise ValueError(f"need at least 1 batch, got {self.n_batches}")
+        if self.batch_size < 2:
+            raise ValueError(
+                f"batch_size must be >= 2, got {self.batch_size}"
+            )
+        if self.n_features < 2:
+            raise ValueError(
+                f"need at least 2 features (the drift plane), got "
+                f"{self.n_features}"
+            )
+        if self.drift not in ("rotate", "label_flip", "none"):
+            raise ValueError(
+                f"unknown drift {self.drift!r} (rotate | label_flip | none)"
+            )
+        if not 0.0 <= self.flip_fraction < 0.5:
+            raise ValueError(
+                f"flip_fraction must be in [0, 0.5), got {self.flip_fraction}"
+            )
+        if self.noise < 0:
+            raise ValueError(f"noise must be >= 0, got {self.noise}")
+
+
+def drift_stream(
+    spec: DriftStreamSpec,
+) -> List[Tuple[CSRMatrix, np.ndarray]]:
+    """Materialize the stream: a list of ``(X_batch, y_batch)`` with
+    labels in ±1.  Every batch is guaranteed to contain both classes
+    (the minority label is planted on the least-confident sample if a
+    draw comes out single-class), so the accumulated problem is always
+    solvable."""
+    rng = np.random.default_rng(spec.seed)
+    batches: List[Tuple[CSRMatrix, np.ndarray]] = []
+    for t in range(spec.n_batches):
+        theta = spec.rotate_per_batch * t if spec.drift == "rotate" else 0.0
+        w = np.zeros(spec.n_features)
+        w[0], w[1] = math.cos(theta), math.sin(theta)
+        Xd = rng.normal(0.0, 1.0, (spec.batch_size, spec.n_features))
+        margin = Xd @ w + spec.noise * rng.standard_normal(spec.batch_size)
+        y = np.where(margin >= 0.0, 1.0, -1.0)
+        if spec.drift == "label_flip" and t >= spec.flip_start:
+            flip = rng.random(spec.batch_size) < spec.flip_fraction
+            y[flip] = -y[flip]
+        if np.all(y == y[0]):
+            y[int(np.argmin(np.abs(margin)))] = -y[0]
+        batches.append((CSRMatrix.from_dense(Xd), y))
+    return batches
 
 
 def two_gaussians(

@@ -20,11 +20,13 @@ from .projector import (
     DCProjection,
     FleetProjection,
     ProjectedTime,
+    StreamProjection,
     parallel_efficiency,
     project,
     project_dc_outer,
     project_fleet,
     project_series,
+    project_stream,
     speedup_vs,
 )
 
@@ -36,6 +38,7 @@ __all__ = [
     "ProjectorValidation",
     "MachineSpec",
     "ProjectedTime",
+    "StreamProjection",
     "baseline_time",
     "costs",
     "measure_lambda",
@@ -45,6 +48,7 @@ __all__ = [
     "project_dc_outer",
     "project_fleet",
     "project_series",
+    "project_stream",
     "speedup_vs",
     "validate_projector",
     "validation_report",

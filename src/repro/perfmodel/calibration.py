@@ -108,6 +108,7 @@ def validate_projector(
     """Run one problem through the threaded runtime at each ``p`` and
     compare the emergent virtual makespan with the analytic projection
     of the p=1 trace."""
+    from ..config import RunConfig
     from ..core import SVMParams, fit_parallel
     from ..kernels import RBFKernel
     from ..sparse.csr import CSRMatrix
@@ -122,15 +123,14 @@ def validate_projector(
     X = CSRMatrix.from_dense(dense)
     params = SVMParams(C=10.0, kernel=RBFKernel(0.5), eps=1e-3)
 
-    base = fit_parallel(X, y, params, heuristic=heuristic, nprocs=1,
-                        machine=machine)
+    cfg = RunConfig(heuristic=heuristic, machine=machine)
+    base = fit_parallel(X, y, params, config=cfg)
     out = []
     for p in ps:
         fr = (
             base
             if p == 1
-            else fit_parallel(X, y, params, heuristic=heuristic, nprocs=p,
-                              machine=machine)
+            else fit_parallel(X, y, params, config=cfg.replace(nprocs=p))
         )
         proj = project(base.trace, machine, p)
         out.append(

@@ -301,6 +301,26 @@ def fleet_reshard_time(
     return t
 
 
+def stream_seed_time(
+    m: MachineSpec, n_new: int, n_sv: int, avg_nnz: float, p: int
+) -> float:
+    """Gradient seeding for one appended streaming batch.
+
+    The incremental trainer (:mod:`repro.stream`) extends the carried
+    gradient vector with γ_new = K(X_new, SV)·sv_coef − y_new: each of
+    the ``p`` ranks evaluates its ``ceil(n_new/p)``-row share of the
+    kernel slab against the full support-vector set, applies the
+    coefficient gemv, and an allgather of the ``n_new`` seeded doubles
+    gives every rank the rows its block partition needs.
+    """
+    rows = math.ceil(n_new / p)
+    t = m.time_kernel_evals(float(rows) * n_sv, avg_nnz)
+    t += m.time_flops(2.0 * rows * n_sv)  # sv_coef gemv + the −y axpy
+    if p > 1:
+        t += allgather_time(m, n_new * 8.0, p)
+    return t
+
+
 def fleet_slab_time(
     m: MachineSpec,
     slab_rows: int,

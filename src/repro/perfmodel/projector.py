@@ -400,6 +400,81 @@ class FleetProjection:
         return self.recovery_time / self.slab_time if self.slab_time else 0.0
 
 
+@dataclass(frozen=True)
+class StreamProjection:
+    """Modeled incremental-refresh step at one process count."""
+
+    p: int
+    #: γ-slab seeding for the appended batch (seconds)
+    seed_time: float
+    #: warm refit solve, projected from its trace (seconds)
+    refit_time: float
+    #: re-shard of the refreshed model onto the serving group (seconds)
+    reshard_time: float
+    #: cold full retrain, projected from its trace (seconds)
+    cold_time: float
+
+    @property
+    def warm_total(self) -> float:
+        """Seed + warm refit — the training cost of one stream step."""
+        return self.seed_time + self.refit_time
+
+    @property
+    def time_to_refresh(self) -> float:
+        """Batch arrival → refreshed model in service."""
+        return self.warm_total + self.reshard_time
+
+    @property
+    def speedup(self) -> float:
+        """Cold retrain time over the warm seed+refit time."""
+        return self.cold_time / self.warm_total if self.warm_total > 0 else 0.0
+
+
+def project_stream(
+    warm_trace: "SolveTrace",
+    cold_trace: "SolveTrace",
+    machine: MachineSpec,
+    p: int,
+    *,
+    n_new: int,
+    n_sv: int,
+    avg_nnz: float,
+    engine: str = "packed",
+    comm: str = "flat",
+    wss: str = "mvp",
+) -> StreamProjection:
+    """Price one incremental stream step against its cold baseline.
+
+    ``warm_trace`` is the trace of the warm-started ``partial_fit``
+    refit, ``cold_trace`` the trace of the certifying cold solve on the
+    same accumulated set (both are process-count independent, so they
+    replay at any ``p``).  On top of the projected refit the warm path
+    pays the γ-seeding slab for the ``n_new`` appended rows
+    (:func:`~repro.perfmodel.costs.stream_seed_time`); both paths pay
+    the same fleet re-shard to put the refreshed model in service.
+    """
+    if n_new < 0 or n_sv < 0:
+        raise ValueError(
+            f"n_new and n_sv must be >= 0, got ({n_new}, {n_sv})"
+        )
+    kwargs = dict(engine=engine, comm=comm, wss=wss)
+    refit = project(warm_trace, machine, p, **kwargs).total
+    cold = project(cold_trace, machine, p, **kwargs).total
+    seed = (
+        costs.stream_seed_time(machine, n_new, n_sv, avg_nnz, p)
+        if n_new and n_sv
+        else 0.0
+    )
+    reshard = costs.fleet_reshard_time(machine, n_sv, avg_nnz, p)
+    return StreamProjection(
+        p=p,
+        seed_time=seed,
+        refit_time=refit,
+        reshard_time=reshard,
+        cold_time=cold,
+    )
+
+
 def project_fleet(
     machine: MachineSpec,
     *,

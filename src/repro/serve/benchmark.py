@@ -39,19 +39,27 @@ SPEEDUP_BAR = 3.0
 BASE_BATCH, TOP_BATCH = 1, 64
 
 
-def _train_model(scale: Optional[float] = None):
+def _train_model(
+    scale: Optional[float] = None, config: Optional[RunConfig] = None
+):
     entry = DATASETS[DATASET]
     ds = load_dataset(DATASET, scale=scale)
     clf = SVC(
         C=entry.C, sigma_sq=entry.sigma_sq,
-        config=RunConfig(nprocs=2),
+        config=(config or RunConfig()).replace(nprocs=2),
     ).fit(ds.X_train, ds.y_train)
     return clf.model_, ds.X_train
 
 
-def run_serve_bench(quick: bool = False) -> dict:
+def run_serve_bench(
+    quick: bool = False, config: Optional[RunConfig] = None
+) -> dict:
+    """Run the sweep.  ``config`` carries run knobs shared by every
+    scenario (machine, comm, ...); the swept ``nprocs`` and each
+    scenario's ``faults`` override its fields."""
+    base = config or RunConfig()
     n_requests = QUICK_REQUESTS if quick else N_REQUESTS
-    model, pool = _train_model(scale=None)
+    model, pool = _train_model(scale=None, config=base)
     X_req = sample_requests(pool, n_requests, seed=7)
     arrivals = burst_arrivals(n_requests)
     direct = model.decision_function(X_req)
@@ -62,7 +70,7 @@ def run_serve_bench(quick: bool = False) -> dict:
             res = serve_requests(
                 model, X_req, arrivals,
                 policy=BatchPolicy(max_batch=max_batch, max_delay=0.0),
-                config=RunConfig(nprocs=nprocs),
+                config=base.replace(nprocs=nprocs),
             )
             if not np.array_equal(res.scores, direct):
                 raise AssertionError(
@@ -109,7 +117,7 @@ def run_serve_bench(quick: bool = False) -> dict:
     cached = serve_requests(
         model, X_dup, wave_arrivals,
         policy=BatchPolicy(max_batch=64, max_delay=0.0),
-        config=RunConfig(nprocs=2), cache_entries=2 * n_requests,
+        config=base.replace(nprocs=2), cache_entries=2 * n_requests,
     )
     if not np.array_equal(cached.scores, model.decision_function(X_dup)):
         raise AssertionError("cached serving diverges from direct scoring")
@@ -119,7 +127,7 @@ def run_serve_bench(quick: bool = False) -> dict:
     faulty = serve_requests(
         model, X_req, arrivals,
         policy=BatchPolicy(max_batch=32, max_delay=0.0),
-        config=RunConfig(nprocs=2, faults="drop:p=0.02,seed=5"),
+        config=base.replace(nprocs=2, faults="drop:p=0.02,seed=5"),
     )
     if not np.array_equal(faulty.scores, direct):
         raise AssertionError("serving under faults diverges from direct scoring")
@@ -204,7 +212,7 @@ QUICK_FLEET_REQUESTS = 96
 
 
 def _fleet_scenario(model, X_req, arrivals, *, nprocs, replicas, events,
-                    registry=None, cache_entries=0):
+                    registry=None, cache_entries=0, base_config=None):
     """One fleet run + the invariant audit every scenario must pass."""
     from .batching import CACHE_HIT as _HIT, SCORED as _SCORED
     from .fleet import serve_fleet
@@ -214,7 +222,9 @@ def _fleet_scenario(model, X_req, arrivals, *, nprocs, replicas, events,
     res = serve_fleet(
         source, X_req, arrivals,
         policy=BatchPolicy(max_batch=32, max_delay=200e-6),
-        config=RunConfig(nprocs=nprocs, replicas=replicas),
+        config=(base_config or RunConfig()).replace(
+            nprocs=nprocs, replicas=replicas
+        ),
         events=events, cache_entries=cache_entries,
     )
     n = X_req.shape[0]
@@ -250,18 +260,21 @@ def _fleet_scenario(model, X_req, arrivals, *, nprocs, replicas, events,
     return res, stale
 
 
-def run_fleet_bench(quick: bool = False) -> dict:
+def run_fleet_bench(
+    quick: bool = False, config: Optional[RunConfig] = None
+) -> dict:
     """Kill-mid-traffic recovery sweep + hot-swap-under-load scenario."""
     from .fleet import KillReplica, SwapModel
     from .loadgen import uniform_arrivals
     from .registry import ModelRegistry, model_fingerprint
     from ..perfmodel import MachineSpec, project_fleet
 
+    base = config or RunConfig()
     n_requests = QUICK_FLEET_REQUESTS if quick else FLEET_REQUESTS
     sweep = QUICK_FLEET_SWEEP if quick else FLEET_SWEEP
     entry = DATASETS[DATASET]
     ds = load_dataset(DATASET, scale=None)
-    model, pool = _train_model(scale=None)
+    model, pool = _train_model(scale=None, config=base)
     X_req = sample_requests(pool, n_requests, seed=7)
     horizon = 20e-3 if quick else 50e-3
     arrivals = uniform_arrivals(n_requests, n_requests / horizon)
@@ -272,6 +285,7 @@ def run_fleet_bench(quick: bool = False) -> dict:
         res, stale = _fleet_scenario(
             model, X_req, arrivals, nprocs=nprocs, replicas=replicas,
             events=[KillReplica(time=t_kill, slot=replicas - 1)],
+            base_config=base,
         )
         s = res.stats
         scenarios.append({
@@ -299,7 +313,7 @@ def run_fleet_bench(quick: bool = False) -> dict:
     # leak from either the scorers or the cache
     clf2 = SVC(
         C=entry.C * 0.5, sigma_sq=entry.sigma_sq * 2.0,
-        config=RunConfig(nprocs=2),
+        config=base.replace(nprocs=2),
     ).fit(ds.X_train, ds.y_train)
     registry = ModelRegistry()
     v1 = registry.publish(model, label="v1")
@@ -311,6 +325,7 @@ def run_fleet_bench(quick: bool = False) -> dict:
         model, X_req, arrivals, nprocs=nprocs_hs, replicas=replicas_hs,
         events=[SwapModel(time=t_swap, version=v2)],
         registry=registry, cache_entries=2 * n_requests,
+        base_config=base,
     )
     served_versions = {
         int(v): int((res_hs.versions == v).sum())

@@ -300,7 +300,8 @@ def serve_fleet(
     survives failover and hot-swap.
     """
     cfg = resolve_config(
-        config, nprocs=nprocs, machine=machine, faults=faults,
+        config, _entry="serve_fleet",
+        nprocs=nprocs, machine=machine, faults=faults,
         replicas=replicas, tenant_quota=tenant_quota,
     )
     policy = policy or BatchPolicy()

@@ -70,6 +70,17 @@ class ModelRegistry:
                 self._active = version
         return version
 
+    def hot_swap(self, model: SVMModel, *, label: Optional[str] = None) -> int:
+        """Publish ``model`` and atomically make it the active version.
+
+        The publish-then-activate sequence is exactly what a manual
+        hot-swap does; bundling it gives the streaming refresh policy a
+        one-call path.  Returns the new (now active) version number.
+        """
+        version = self.publish(model, label=label)
+        self.activate(version)
+        return version
+
     def load(self, version: int) -> SVMModel:
         """Materialize a fresh model object from the saved blob.
 

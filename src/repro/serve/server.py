@@ -107,7 +107,10 @@ def serve_requests(
     ``config=``, with the keywords as overriding shims, exactly like the
     fit/predict entry points.
     """
-    cfg = resolve_config(config, nprocs=nprocs, machine=machine, faults=faults)
+    cfg = resolve_config(
+        config, _entry="serve_requests",
+        nprocs=nprocs, machine=machine, faults=faults,
+    )
     policy = policy or BatchPolicy()
     if reduction not in ("slab", "sums"):
         raise ValueError(

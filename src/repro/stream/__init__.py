@@ -1,0 +1,30 @@
+"""``repro.stream`` — incremental training on a labeled batch stream.
+
+:class:`IncrementalSVC` grows (``partial_fit``) and shrinks
+(``forget``) the training set without cold re-solves: each refit is
+warm-started from the previous exact dual state and certified
+tolerance-equivalent to a cold full solve on demand.  The scenario
+harness (:class:`StreamScenario` / :func:`run_stream`) composes it
+with a concept-drift stream (:mod:`repro.data`), a refresh policy and
+an in-place serving-fleet refresh through the
+:class:`~repro.serve.ModelRegistry` hot-swap.
+"""
+
+from .incremental import IncrementalSVC, RefitRecord
+from .scenario import (
+    BatchRecord,
+    RefreshPolicy,
+    StreamReport,
+    StreamScenario,
+    run_stream,
+)
+
+__all__ = [
+    "BatchRecord",
+    "IncrementalSVC",
+    "RefitRecord",
+    "RefreshPolicy",
+    "StreamReport",
+    "StreamScenario",
+    "run_stream",
+]

@@ -1,0 +1,77 @@
+"""Streaming cost shapes: the γ-seed slab and the refresh projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RunConfig
+from repro.perfmodel import MachineSpec, costs, project_stream
+from repro.stream import IncrementalSVC
+
+from ..conftest import make_blobs
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """A real warm/cold trace pair off a two-batch incremental run."""
+    from repro.core.solver import fit_parallel
+
+    clf = IncrementalSVC(C=5.0, gamma=0.5, config=RunConfig(nprocs=2))
+    clf.partial_fit(*make_blobs(n=32, seed=0))
+    clf.partial_fit(*make_blobs(n=16, seed=1))
+    cold = fit_parallel(
+        clf.X_, clf.y_, clf._params(), config=RunConfig(nprocs=2)
+    )
+    return clf, cold
+
+
+def test_stream_seed_time_scales():
+    m = MachineSpec.cascade()
+    t1 = costs.stream_seed_time(m, 64, 100, 3.0, 1)
+    t2 = costs.stream_seed_time(m, 128, 100, 3.0, 1)
+    assert 0 < t1 < t2  # more appended rows, more slab
+    # parallel seeding splits the slab but pays an allgather
+    t_par = costs.stream_seed_time(m, 128, 100, 3.0, 8)
+    assert t_par < t2
+    assert costs.stream_seed_time(m, 128, 200, 3.0, 1) > t2  # more SVs
+
+
+def test_project_stream_fields(traces):
+    clf, cold = traces
+    m = MachineSpec.multinode()
+    proj = project_stream(
+        clf.fit_result_.trace,
+        cold.trace,
+        m,
+        16,
+        n_new=16,
+        n_sv=clf.model_.n_sv,
+        avg_nnz=clf.X_.avg_row_nnz,
+    )
+    assert proj.p == 16
+    assert proj.seed_time > 0 and proj.reshard_time > 0
+    assert proj.warm_total == pytest.approx(proj.seed_time + proj.refit_time)
+    assert proj.time_to_refresh == pytest.approx(
+        proj.warm_total + proj.reshard_time
+    )
+    assert proj.speedup == pytest.approx(proj.cold_time / proj.warm_total)
+
+
+def test_project_stream_empty_batch_has_no_seed(traces):
+    clf, cold = traces
+    m = MachineSpec.cascade()
+    proj = project_stream(
+        clf.fit_result_.trace, cold.trace, m, 4,
+        n_new=0, n_sv=clf.model_.n_sv, avg_nnz=2.0,
+    )
+    assert proj.seed_time == 0.0
+
+
+def test_project_stream_validation(traces):
+    clf, cold = traces
+    m = MachineSpec.cascade()
+    with pytest.raises(ValueError, match=">= 0"):
+        project_stream(
+            clf.fit_result_.trace, cold.trace, m, 4,
+            n_new=-1, n_sv=3, avg_nnz=2.0,
+        )

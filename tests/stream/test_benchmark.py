@@ -1,0 +1,63 @@
+"""The stream benchmark: quick-mode smoke + acceptance-bar logic."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.stream.benchmark import check_bars, format_report, run_stream_bench
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_stream_bench(quick=True)
+
+
+def test_quick_report_structure(quick_report):
+    r = quick_report
+    assert r["bench"] == "stream" and r["quick"]
+    assert r["certified_refits"] == r["stream"]["n_batches"]
+    assert all(ref["certified"] for ref in r["stream"]["refits"])
+    assert r["stream"]["eval_reduction"] is not None
+    assert len(r["projection"]["sweep"]) == 2
+    json.dumps(r, allow_nan=False)  # strict JSON round-trips
+
+
+def test_format_report(quick_report):
+    text = format_report(quick_report)
+    assert "eval reduction" in text
+    assert "accuracy over time" in text
+    assert "projected refresh step" in text
+
+
+def _passing(quick_report):
+    r = copy.deepcopy(quick_report)
+    r["stream"]["n_batches"] = r["min_batches"]
+    r["stream"]["eval_reduction"] = 2.5
+    for row in r["projection"]["sweep"]:
+        row["speedup"] = 1.3
+    return r
+
+
+def test_check_bars(quick_report):
+    check_bars(_passing(quick_report))
+
+    with pytest.raises(AssertionError, match="too short"):
+        check_bars(quick_report)  # quick stream is below min_batches
+
+    r = _passing(quick_report)
+    r["stream"]["eval_reduction"] = 1.2
+    with pytest.raises(AssertionError, match="below the"):
+        check_bars(r)
+
+    r = _passing(quick_report)
+    r["stream"]["eval_reduction"] = None
+    with pytest.raises(AssertionError, match="no certified cold baseline"):
+        check_bars(r)
+
+    r = _passing(quick_report)
+    r["projection"]["sweep"][0]["speedup"] = 0.9
+    with pytest.raises(AssertionError, match="loses to cold"):
+        check_bars(r)

@@ -124,3 +124,82 @@ def test_train_default_hides_wss_line(capsys):
 def test_bad_wss_rejected():
     with pytest.raises(SystemExit):
         main(["train", "--dataset", "mushrooms", "--wss", "newton"])
+
+
+RUNCONFIG_FLAGS = (
+    "--nprocs", "--machine", "--heuristic", "--engine", "--comm",
+    "--wss", "--kernel-cache-mb", "--dc", "--faults",
+)
+
+
+@pytest.mark.parametrize("cmd", ["train", "serve-bench", "stream-bench"])
+def test_runconfig_flags_shared_across_subcommands(cmd, capsys):
+    # one add_runconfig_args() registration — the knob surface must be
+    # flag-identical on every subcommand that trains or benches
+    with pytest.raises(SystemExit) as exc:
+        main([cmd, "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for flag in RUNCONFIG_FLAGS:
+        assert flag in out
+
+
+def test_runconfig_from_args_builds_config():
+    import argparse
+
+    from repro.cli import add_runconfig_args, runconfig_from_args
+
+    p = argparse.ArgumentParser()
+    add_runconfig_args(p)
+    args = p.parse_args([
+        "--nprocs", "4", "--wss", "second_order", "--engine", "legacy",
+        "--kernel-cache-mb", "2", "--machine", "multinode:8",
+    ])
+    cfg = runconfig_from_args(args)
+    assert cfg.nprocs == 4
+    assert cfg.wss == "second_order"
+    assert cfg.engine == "legacy"
+    assert cfg.kernel_cache_mb == 2.0
+    assert cfg.machine.ranks_per_node == 8
+    assert cfg.heuristic == "multi5pc"  # default preserved
+
+
+def test_stream_bench_cli(tmp_path, capsys, monkeypatch):
+    import json
+
+    from repro.stream import benchmark as SB
+
+    canned = {
+        "bench": "stream", "quick": True,
+        "spec": {"drift": "rotate"},
+        "scenario": {"nprocs": 2},
+        "eval_reduction_bar": 2.0, "min_batches": 10,
+        "stream": {
+            "n_batches": 3, "batch_size": 8, "refreshes": 3,
+            "cumulative_kernel_evals": 100,
+            "cumulative_cold_kernel_evals": 250,
+            "eval_reduction": 2.5, "final_n_sv": 5,
+            "mean_prequential_accuracy": 0.9,
+            "accuracy_over_time": [None, 0.9],
+        },
+        "projection": {
+            "machine": "multinode", "ranks_per_node": 16,
+            "n_sv": 5, "sweep": [],
+        },
+    }
+    seen = {}
+
+    def fake_bench(quick=False, config=None):
+        seen["quick"], seen["config"] = quick, config
+        return canned
+
+    monkeypatch.setattr(SB, "run_stream_bench", fake_bench)
+    out = tmp_path / "stream.json"
+    rc = main([
+        "stream-bench", "--quick", "--out", str(out), "--nprocs", "4",
+    ])
+    assert rc == 0
+    assert seen["quick"] is True
+    assert seen["config"].nprocs == 4
+    assert json.loads(out.read_text())["bench"] == "stream"
+    assert "eval reduction" in capsys.readouterr().out
